@@ -1,0 +1,143 @@
+(* The benchmark harness: one target per paper table/figure, printing
+   the same rows/series the paper reports, plus ablation targets and a
+   bechamel microbenchmark suite for the hot paths.
+
+   Usage:
+     dune exec bench/main.exe                 # every figure, quick scale
+     dune exec bench/main.exe -- fig2 fig8    # selected figures
+     dune exec bench/main.exe -- --full       # full-fidelity parameters
+     dune exec bench/main.exe -- micro        # bechamel microbenchmarks *)
+
+open Taq_experiments
+
+let section title = Printf.printf "\n==== %s ====\n\n%!" title
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "\n[%.1f s]\n%!" (Unix.gettimeofday () -. t0)
+
+(* --- microbenchmarks ------------------------------------------------------ *)
+
+let micro ~full =
+  ignore full;
+  section "microbenchmarks (bechamel): hot paths";
+  let open Bechamel in
+  let heap_bench =
+    Test.make ~name:"event_heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Taq_engine.Event_heap.create () in
+           for i = 0 to 99 do
+             Taq_engine.Event_heap.push h
+               ~time:(float_of_int (i * 7919 mod 100))
+               ()
+           done;
+           for _ = 0 to 99 do
+             ignore (Taq_engine.Event_heap.pop h)
+           done))
+  in
+  let prng_bench =
+    let prng = Taq_util.Prng.create ~seed:1 in
+    Test.make ~name:"prng bits64 x100"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Taq_util.Prng.bits64 prng)
+           done))
+  in
+  let markov_bench =
+    Test.make ~name:"partial model stationary (wmax=6)"
+      (Staged.stage (fun () ->
+           ignore
+             (Taq_model.Partial_model.stationary
+                (Taq_model.Partial_model.create ~p:0.15 ()))))
+  in
+  let taq_bench =
+    Test.make ~name:"taq enqueue+dequeue x100"
+      (Staged.stage (fun () ->
+           let sim = Taq_engine.Sim.create () in
+           let config =
+             Taq_core.Taq_config.default ~capacity_pkts:50 ~capacity_bps:1e6
+           in
+           let t = Taq_core.Taq_disc.create ~sim ~config () in
+           let d = Taq_core.Taq_disc.disc t in
+           for i = 0 to 99 do
+             ignore
+               (d.Taq_net.Disc.enqueue
+                  (Taq_net.Packet.make ~flow:(i mod 10)
+                     ~kind:Taq_net.Packet.Data ~seq:(i / 10) ~size:500
+                     ~sent_at:0.0 ()));
+             ignore (d.Taq_net.Disc.dequeue ())
+           done))
+  in
+  let sim_bench =
+    Test.make ~name:"tcp transfer 50 segments (end to end)"
+      (Staged.stage (fun () ->
+           Taq_tcp.Tcp_session.reset_flow_ids ();
+           let sim = Taq_engine.Sim.create () in
+           let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
+           let net = Taq_net.Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
+           let s =
+             Taq_tcp.Tcp_session.create ~net ~config:Common.default_tcp
+               ~rtt_prop:0.05 ~total_segments:50 ()
+           in
+           Taq_tcp.Tcp_session.start s;
+           Taq_engine.Sim.run ~until:30.0 sim))
+  in
+  let tests =
+    Test.make_grouped ~name:"taq"
+      [ heap_bench; prng_bench; markov_bench; taq_bench; sim_bench ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let table = Taq_util.Table.create ~columns:[ "benchmark"; "ns/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | Some [] | None -> "-"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Taq_util.Table.add_row table [ name; est ])
+    (List.sort compare !rows);
+  Taq_util.Table.print table
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let run_target (t : Registry.target) =
+    timed (fun () ->
+        section (Printf.sprintf "%s: %s" t.Registry.name t.Registry.description);
+        t.Registry.run ~full)
+  in
+  Printf.printf "TAQ benchmark harness (%s scale)\n"
+    (if full then "full" else "quick");
+  match selected with
+  | [] ->
+      List.iter run_target Registry.targets;
+      timed (fun () -> micro ~full)
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then timed (fun () -> micro ~full)
+          else
+            match Registry.find name with
+            | Some t -> run_target t
+            | None ->
+                Printf.eprintf "unknown target %S (known: %s, micro)\n" name
+                  (String.concat ", " Registry.names);
+                exit 2)
+        names

@@ -1,0 +1,344 @@
+(* taq_sim: the command-line front end.
+
+   Subcommands:
+     experiment  run a paper-figure reproduction by name
+     sim         ad-hoc dumbbell contention run with any queue
+     model       evaluate the idealized Markov models
+     trace       generate a synthetic proxy access trace (CSV) *)
+
+open Cmdliner
+open Taq_experiments
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let name_arg =
+    let doc =
+      Printf.sprintf "Experiment to run: one of %s."
+        (String.concat ", " Registry.names)
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-fidelity parameters.")
+  in
+  let run name full =
+    match Registry.find name with
+    | Some t ->
+        t.Registry.run ~full;
+        `Ok ()
+    | None ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S (known: %s)" name
+                    (String.concat ", " Registry.names))
+  in
+  let doc = "Reproduce one of the paper's figures" in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ name_arg $ full_arg))
+
+(* --- sim ---------------------------------------------------------------- *)
+
+let queue_conv =
+  let parse = function
+    | "droptail" | "dt" -> Ok `Droptail
+    | "red" -> Ok `Red
+    | "sfq" -> Ok `Sfq
+    | "drr" -> Ok `Drr
+    | "taq" -> Ok `Taq
+    | "taq+ac" | "taq-ac" -> Ok `Taq_ac
+    | s -> Error (`Msg (Printf.sprintf "unknown queue %S" s))
+  in
+  let print ppf q =
+    Format.pp_print_string ppf
+      (match q with
+      | `Droptail -> "droptail"
+      | `Red -> "red"
+      | `Sfq -> "sfq"
+      | `Drr -> "drr"
+      | `Taq -> "taq"
+      | `Taq_ac -> "taq+ac")
+  in
+  Arg.conv (parse, print)
+
+let sim_cmd =
+  let queue =
+    Arg.(
+      value
+      & opt queue_conv `Droptail
+      & info [ "q"; "queue" ] ~docv:"QUEUE"
+          ~doc:"Queue discipline: droptail, red, sfq, drr, taq or taq+ac.")
+  in
+  let capacity =
+    Arg.(
+      value & opt float 600e3
+      & info [ "c"; "capacity" ] ~docv:"BPS" ~doc:"Bottleneck capacity, bits/s.")
+  in
+  let flows =
+    Arg.(value & opt int 60 & info [ "n"; "flows" ] ~docv:"N" ~doc:"Long-lived flows.")
+  in
+  let rtt =
+    Arg.(value & opt float 0.2 & info [ "rtt" ] ~docv:"S" ~doc:"Propagation RTT.")
+  in
+  let duration =
+    Arg.(value & opt float 200.0 & info [ "d"; "duration" ] ~docv:"S" ~doc:"Run length.")
+  in
+  let buffer_rtts =
+    Arg.(
+      value & opt float 1.0
+      & info [ "buffer-rtts" ] ~docv:"RTTS" ~doc:"Buffer size in RTTs of delay.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let pcap =
+    Arg.(
+      value & opt (some string) None
+      & info [ "pcap" ] ~docv:"PATH"
+          ~doc:
+            "Record every enqueue/drop/delivery at the bottleneck and write \
+             the packet log as CSV to $(docv).")
+  in
+  let run queue capacity flows rtt duration buffer_rtts seed pcap =
+    let buffer_pkts =
+      Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
+    in
+    let q =
+      match queue with
+      | `Droptail -> Common.Droptail
+      | `Red -> Common.Red
+      | `Sfq -> Common.Sfq
+      | `Drr -> Common.Drr
+      | `Taq -> Common.Taq (Common.taq_config ~capacity_bps:capacity ~buffer_pkts ())
+      | `Taq_ac ->
+          Common.Taq
+            (Common.taq_config ~admission:true ~capacity_bps:capacity
+               ~buffer_pkts ())
+    in
+    let env =
+      Common.make_env ~queue:q ~capacity_bps:capacity ~buffer_pkts ~seed ()
+    in
+    let log =
+      Option.map
+        (fun _ ->
+          Taq_metrics.Packet_log.attach
+            ~now:(fun () -> Taq_engine.Sim.now env.Common.sim)
+            (Taq_net.Dumbbell.link env.Common.net))
+        pcap
+    in
+    let ids = Common.spawn_long_flows env ~n:flows ~rtt ~rtt_jitter:0.1 () in
+    Common.run env ~until:duration;
+    (match (pcap, log) with
+    | Some path, Some log ->
+        Taq_metrics.Packet_log.save_csv log ~path;
+        Printf.printf "packet log: %d events written to %s\n"
+          (Taq_metrics.Packet_log.count log)
+          path
+    | _ -> ());
+    let series =
+      Taq_metrics.Flow_evolution.series env.Common.evolution ~until:duration
+    in
+    Printf.printf
+      "queue=%s capacity=%.0fbps flows=%d buffer=%dpkts duration=%.0fs\n"
+      (Common.queue_name q) capacity flows buffer_pkts duration;
+    Printf.printf "  short-term Jain (20s slices): %.3f\n"
+      (Taq_metrics.Slicer.mean_jain env.Common.slicer ~flows:ids ~first:1 ());
+    Printf.printf "  long-term Jain:               %.3f\n"
+      (Taq_metrics.Slicer.long_term_jain env.Common.slicer ~flows:ids);
+    Printf.printf "  utilization:                  %.3f\n" (Common.utilization env);
+    Printf.printf "  packet loss rate:             %.4f\n"
+      (Common.measured_loss_rate env);
+    Printf.printf "  stalled-flow fraction:        %.3f\n"
+      (Taq_metrics.Flow_evolution.stalled_fraction series);
+    match env.Common.taq with
+    | None -> ()
+    | Some t ->
+        let st = Taq_core.Taq_disc.stats t in
+        Printf.printf
+          "  taq: enqueued=%d dropped=%d admission_rejected=%d forced_recovery=%d\n"
+          st.Taq_core.Taq_disc.enqueued st.Taq_core.Taq_disc.dropped
+          st.Taq_core.Taq_disc.admission_rejected
+          st.Taq_core.Taq_disc.forced_recovery_drops
+  in
+  let doc = "Ad-hoc dumbbell contention run" in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts $ seed
+      $ pcap)
+
+(* --- model --------------------------------------------------------------- *)
+
+let model_cmd =
+  let p_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "p" ] ~docv:"P" ~doc:"Loss probability; prints the stationary distribution.")
+  in
+  let wmax = Arg.(value & opt int 6 & info [ "wmax" ] ~docv:"W" ~doc:"Model Wmax.") in
+  let full_model =
+    Arg.(value & flag & info [ "full-model" ] ~doc:"Use the expanded backoff-stage model.")
+  in
+  let sweep =
+    Arg.(
+      value & flag
+      & info [ "sweep" ] ~doc:"Sweep p over 0.01..0.45 and print the sent-class series.")
+  in
+  let run p wmax full_model sweep =
+    let print_dist p =
+      let labels, dist, sent =
+        if full_model then begin
+          let m = Taq_model.Full_model.create ~wmax ~p () in
+          ( Taq_model.Full_model.state_labels m,
+            Taq_model.Full_model.stationary m,
+            Taq_model.Full_model.sent_distribution m )
+        end
+        else begin
+          let m = Taq_model.Partial_model.create ~wmax ~p () in
+          ( Taq_model.Partial_model.state_labels m,
+            Taq_model.Partial_model.stationary m,
+            Taq_model.Partial_model.sent_distribution m )
+        end
+      in
+      Printf.printf "p = %.4f (%s model, wmax=%d)\n" p
+        (if full_model then "full" else "partial")
+        wmax;
+      Array.iteri
+        (fun i l -> Printf.printf "  %-4s %.4f\n" l dist.(i))
+        labels;
+      Printf.printf "sent-classes:";
+      Array.iteri (fun k v -> Printf.printf " %d:%.3f" k v) sent;
+      print_newline ()
+    in
+    if sweep then begin
+      let table =
+        Taq_util.Table.create
+          ~columns:
+            [ "p"; "timeout_mass"; "silence_mass"; "goodput_pkts_per_epoch" ]
+      in
+      List.iter
+        (fun pt ->
+          Taq_util.Table.addf table
+            [
+              pt.Taq_model.Analysis.p;
+              pt.Taq_model.Analysis.timeout_mass;
+              pt.Taq_model.Analysis.silence_mass;
+              pt.Taq_model.Analysis.goodput_pkts_per_epoch;
+            ])
+        (Taq_model.Analysis.sweep ~wmax ~full:full_model ~p_lo:0.01 ~p_hi:0.45
+           ~steps:23 ());
+      Taq_util.Table.print table;
+      Printf.printf "\ntipping point (majority in timeout): p = %.3f\n"
+        (Taq_model.Analysis.tipping_point ~wmax ());
+      Printf.printf
+        "expected epochs to first timeout from Wmax at p=0.1: %.1f\n"
+        (Taq_model.Analysis.epochs_to_first_timeout ~wmax ~p:0.1
+           ~from_window:wmax ());
+      Printf.printf "steepest timeout-mass increase:      p = %.3f\n"
+        (Taq_model.Analysis.steepest_increase ~wmax ())
+    end;
+    Option.iter print_dist p;
+    if (not sweep) && p = None then print_dist 0.1
+  in
+  let doc = "Evaluate the idealized Markov models" in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ p_arg $ wmax $ full_model $ sweep)
+
+(* --- replay ------------------------------------------------------------------ *)
+
+let replay_cmd =
+  let trace_path =
+    Arg.(
+      required & opt (some string) None
+      & info [ "t"; "trace" ] ~docv:"PATH" ~doc:"Trace CSV (from the trace subcommand).")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt queue_conv `Droptail
+      & info [ "q"; "queue" ] ~docv:"QUEUE"
+          ~doc:"Queue discipline: droptail, red, sfq, drr, taq or taq+ac.")
+  in
+  let capacity =
+    Arg.(
+      value & opt float 2000e3
+      & info [ "c"; "capacity" ] ~docv:"BPS" ~doc:"Access-link capacity, bits/s.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 1800.0
+      & info [ "d"; "duration" ] ~docv:"S" ~doc:"Replay window (trace clipped).")
+  in
+  let run trace_path queue capacity duration =
+    let trace = Taq_workload.Trace.load_csv ~path:trace_path in
+    let q =
+      match queue with
+      | `Droptail -> Common.Droptail
+      | `Red -> Common.Red
+      | `Sfq -> Common.Sfq
+      | `Drr -> Common.Drr
+      | `Taq -> Common.taq_marker
+      | `Taq_ac ->
+          Common.Taq
+            (Common.taq_config ~admission:true ~capacity_bps:capacity
+               ~buffer_pkts:
+                 (Common.buffer_for_rtts ~capacity_bps:capacity ~rtt:0.3
+                    ~rtts:1.0)
+               ())
+    in
+    let p =
+      {
+        Fig1_scatter.default with
+        Fig1_scatter.capacity_bps = capacity;
+        duration;
+      }
+    in
+    Printf.printf "replaying %d records (%d clients) at %.0f bps under %s\n\n"
+      (Array.length trace)
+      (Array.length (Taq_workload.Trace.client_ids trace))
+      capacity (Common.queue_name q);
+    Fig1_scatter.print (Fig1_scatter.run_trace p ~queue:q ~trace)
+  in
+  let doc = "Replay a proxy access trace through a simulated access link" in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ trace_path $ queue $ capacity $ duration)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let out =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output CSV path.")
+  in
+  let clients =
+    Arg.(value & opt int 221 & info [ "clients" ] ~docv:"N" ~doc:"Client count.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 7200.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Trace window in seconds.")
+  in
+  let seed = Arg.(value & opt int 101 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run out clients duration seed =
+    let params =
+      {
+        Taq_workload.Trace.default_params with
+        Taq_workload.Trace.clients;
+        duration;
+      }
+    in
+    let trace = Taq_workload.Trace.generate ~params ~seed () in
+    Taq_workload.Trace.save_csv trace ~path:out;
+    Printf.printf "wrote %d records (%.2f GB over %.0f s, %d clients) to %s\n"
+      (Array.length trace)
+      (float_of_int (Taq_workload.Trace.total_bytes trace) /. 1e9)
+      (Taq_workload.Trace.duration trace)
+      (Array.length (Taq_workload.Trace.client_ids trace))
+      out
+  in
+  let doc = "Generate a synthetic proxy access trace" in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ out $ clients $ duration $ seed)
+
+let () =
+  let doc = "TAQ: Timeout Aware Queuing (EuroSys'14) reproduction toolkit" in
+  let info = Cmd.info "taq_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiment_cmd; sim_cmd; model_cmd; trace_cmd; replay_cmd ]))

@@ -1,0 +1,80 @@
+(* Exploring the idealized Markov model (the paper's Section 3): the
+   stationary distribution of a TCP flow over its window/timeout
+   states as the loss probability grows, the closed-form expected idle
+   time, and the tipping point that motivates TAQ's admission
+   threshold.
+
+     dune exec examples/model_explore.exe *)
+
+module Partial = Taq_model.Partial_model
+module Full = Taq_model.Full_model
+module Analysis = Taq_model.Analysis
+
+let () =
+  print_endline "Stationary state distribution (partial model, Wmax = 6)\n";
+  let table =
+    Taq_util.Table.create
+      ~columns:[ "p"; "b*"; "b0"; "S1"; "S2"; "S3"; "S4"; "S5"; "S6" ]
+  in
+  List.iter
+    (fun p ->
+      let m = Partial.create ~p () in
+      let d = Partial.stationary m in
+      Taq_util.Table.addf table (p :: Array.to_list (Array.map Fun.id d)))
+    [ 0.01; 0.05; 0.1; 0.15; 0.2; 0.3; 0.4 ];
+  Taq_util.Table.print table;
+
+  print_endline "\nExpected idle time in the timeout state (eq. 8, 1/(1-2p)):\n";
+  List.iter
+    (fun p ->
+      Printf.printf "  p=%.2f -> %.2f epochs\n" p
+        (Partial.expected_idle_epochs ~p))
+    [ 0.1; 0.2; 0.3; 0.4; 0.45 ];
+
+  print_endline "\nRepetitive-timeout depth (full model's backoff stages):\n";
+  let stage_table =
+    Taq_util.Table.create ~columns:[ "p"; "stage1"; "stage2"; "stage3+" ]
+  in
+  List.iter
+    (fun p ->
+      let m = Full.create ~p () in
+      let s = Full.backoff_stage_mass m in
+      Taq_util.Table.addf stage_table [ p; s.(0); s.(1); s.(2) ])
+    [ 0.05; 0.1; 0.2; 0.3 ];
+  Taq_util.Table.print stage_table;
+
+  Printf.printf
+    "\nTipping point (loss rate beyond which most flows sit in timeout \
+     states): p = %.3f\n"
+    (Analysis.tipping_point ());
+  Printf.printf
+    "TAQ's admission controller acts at pthresh = 0.1, just below the \
+     knee at p = %.3f.\n"
+    (Analysis.steepest_increase ());
+
+  print_endline
+    "\nTransient analysis: expected epochs a flow at window w survives\n\
+     before its first timeout:\n";
+  let t_table =
+    Taq_util.Table.create ~columns:[ "p"; "from_w2"; "from_w4"; "from_w6" ]
+  in
+  List.iter
+    (fun p ->
+      Taq_util.Table.addf t_table
+        [
+          p;
+          Analysis.epochs_to_first_timeout ~p ~from_window:2 ();
+          Analysis.epochs_to_first_timeout ~p ~from_window:4 ();
+          Analysis.epochs_to_first_timeout ~p ~from_window:6 ();
+        ])
+    [ 0.05; 0.1; 0.2; 0.3 ];
+  Taq_util.Table.print t_table;
+
+  print_endline "\nModel goodput (packets/epoch) vs loss probability:\n";
+  let g_table = Taq_util.Table.create ~columns:[ "p"; "goodput_pkts_per_epoch" ] in
+  List.iter
+    (fun pt ->
+      Taq_util.Table.addf g_table
+        [ pt.Analysis.p; pt.Analysis.goodput_pkts_per_epoch ])
+    (Analysis.sweep ~p_lo:0.02 ~p_hi:0.42 ~steps:9 ());
+  Taq_util.Table.print g_table

@@ -1,0 +1,115 @@
+type decision = Admitted | Rejected
+
+type t = {
+  config : Taq_config.admission;
+  now : unit -> float;
+  loss : Taq_util.Ewma.t;
+  admitted : (int, float) Hashtbl.t;  (* pool -> last active *)
+  waiting : (int, float) Hashtbl.t;  (* pool -> first rejected *)
+  mutable wait_order : int list;  (* FIFO of waiting pools (oldest first) *)
+  mutable last_forced : float;  (* last Twait-guaranteed admission *)
+}
+
+let create ~config ~now =
+  {
+    config;
+    now;
+    loss = Taq_util.Ewma.create ~alpha:config.Taq_config.loss_alpha;
+    admitted = Hashtbl.create 64;
+    waiting = Hashtbl.create 64;
+    wait_order = [];
+    last_forced = neg_infinity;
+  }
+
+let note_arrival t = Taq_util.Ewma.update t.loss 0.0
+
+let note_drop t = Taq_util.Ewma.update t.loss 1.0
+
+let loss_rate t =
+  if Taq_util.Ewma.is_initialized t.loss then Taq_util.Ewma.value t.loss
+  else 0.0
+
+let admit t ~key =
+  Hashtbl.remove t.waiting key;
+  t.wait_order <- List.filter (fun k -> k <> key) t.wait_order;
+  Hashtbl.replace t.admitted key (t.now ())
+
+let on_syn t ~key =
+  let now = t.now () in
+  if Hashtbl.mem t.admitted key then begin
+    Hashtbl.replace t.admitted key now;
+    Admitted
+  end
+  else begin
+    let threshold = t.config.Taq_config.pthresh -. t.config.Taq_config.hysteresis in
+    if loss_rate t < threshold then begin
+      admit t ~key;
+      Admitted
+    end
+    else begin
+      (match Hashtbl.find_opt t.waiting key with
+      | Some _ -> ()
+      | None ->
+          Hashtbl.replace t.waiting key now;
+          t.wait_order <- t.wait_order @ [ key ]);
+      (* The Twait guarantee admits pools one at a time, oldest first:
+         blanket admission after Twait would restore the very
+         contention the controller exists to limit. *)
+      let head_is_us = match t.wait_order with k :: _ -> k = key | [] -> false in
+      let waited = now -. Hashtbl.find t.waiting key in
+      if
+        head_is_us
+        && waited >= t.config.Taq_config.t_wait
+        && now -. t.last_forced >= t.config.Taq_config.t_wait
+      then begin
+        t.last_forced <- now;
+        admit t ~key;
+        Admitted
+      end
+      else Rejected
+    end
+  end
+
+let touch t ~key =
+  if Hashtbl.mem t.admitted key then Hashtbl.replace t.admitted key (t.now ())
+
+let is_admitted t ~key = Hashtbl.mem t.admitted key
+
+let admitted_count t = Hashtbl.length t.admitted
+
+let waiting_count t = Hashtbl.length t.waiting
+
+type feedback = { position : int; expected_wait : float }
+
+let feedback t ~key =
+  if Hashtbl.mem t.admitted key then None
+  else begin
+    let rec position i = function
+      | [] -> None
+      | k :: _ when k = key -> Some i
+      | _ :: rest -> position (i + 1) rest
+    in
+    match position 1 t.wait_order with
+    | None -> None
+    | Some position ->
+        (* Pools ahead of us each consume one Twait slot; our own slot
+           opens Twait after the previous forced admission. *)
+        let now = t.now () in
+        let next_slot =
+          Float.max 0.0 (t.last_forced +. t.config.Taq_config.t_wait -. now)
+        in
+        let expected_wait =
+          next_slot
+          +. (float_of_int (position - 1) *. t.config.Taq_config.t_wait)
+        in
+        Some { position; expected_wait }
+  end
+
+let expire t =
+  let now = t.now () in
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun key last ->
+      if now -. last > t.config.Taq_config.pool_expiry then stale := key :: !stale)
+    t.admitted;
+  List.iter (Hashtbl.remove t.admitted) !stale

@@ -1,0 +1,59 @@
+(** Flow-pool admission control (Section 4.3).
+
+    Activated when the measured loss rate crosses the model's tipping
+    point: without it, flows spiral into repetitive timeouts and the
+    network performs {e arbitrary} admission control by silence. TAQ
+    makes it explicit instead: new flow {e pools} (the inter-related
+    connections of one application session) are admitted only while
+    the loss rate is below threshold, rejected SYNs are dropped (the
+    client's SYN retry keeps the request alive), and a rejected pool
+    is guaranteed admission within [t_wait]. *)
+
+type t
+
+type decision = Admitted | Rejected
+
+val create : config:Taq_config.admission -> now:(unit -> float) -> t
+
+val note_arrival : t -> unit
+(** A data packet was accepted at the queue (loss-signal 0). *)
+
+val note_drop : t -> unit
+(** A data packet was dropped at the queue (loss-signal 1). *)
+
+val loss_rate : t -> float
+(** Smoothed drop rate the controller is acting on. *)
+
+val on_syn : t -> key:int -> decision
+(** Admission check for a connection attempt belonging to pool [key]
+    (callers map pool-less flows to unique negative keys). While the
+    loss rate is above threshold, waiting pools are admitted one at a
+    time, oldest first, at most one per [t_wait] — the paper's "after
+    a specific wait time, the user is guaranteed admission for one
+    flow pool". *)
+
+val touch : t -> key:int -> unit
+(** Mark the pool active (data seen), refreshing its expiry. *)
+
+val is_admitted : t -> key:int -> bool
+
+val admitted_count : t -> int
+
+val waiting_count : t -> int
+
+type feedback = {
+  position : int;  (** 1-based place in the admission queue *)
+  expected_wait : float;
+      (** seconds until the Twait guarantee admits this pool, assuming
+          the loss rate stays above threshold: one pool is admitted per
+          [t_wait], oldest first *)
+}
+
+val feedback : t -> key:int -> feedback option
+(** What a proxy-mode middlebox would tell the waiting user (§4.3's
+    visible queue of requests with expected wait times — the
+    RuralCafe-style feedback the paper cites). [None] when the pool is
+    not waiting (unknown or already admitted). *)
+
+val expire : t -> unit
+(** Drop admitted pools idle longer than [pool_expiry]. *)

@@ -1,0 +1,103 @@
+type t =
+  | Slow_start
+  | Normal
+  | Loss_recovery
+  | Timeout_silence
+  | Timeout_recovery
+  | Extended_silence
+  | Idle
+
+type observation = {
+  new_pkts : int;
+  retx_pkts : int;
+  drops : int;
+  prev_new_pkts : int;
+  outstanding_drops : int;
+}
+
+let initial = Slow_start
+
+(* Exponential growth detection for slow start: the epoch's new-packet
+   count grew markedly over the previous epoch's. *)
+let growing obs =
+  obs.prev_new_pkts = 0
+  || float_of_int obs.new_pkts >= 1.5 *. float_of_int obs.prev_new_pkts
+
+let step state obs =
+  let silent_epoch = obs.new_pkts = 0 && obs.retx_pkts = 0 in
+  if silent_epoch then begin
+    match state with
+    | Slow_start | Normal ->
+        (* A silent epoch after drops means the sender is waiting out a
+           timeout; with no drop on record it simply has nothing to
+           send (the dummy state of Figure 7). *)
+        if obs.drops > 0 || obs.outstanding_drops > 0 then Timeout_silence
+        else Idle
+    | Loss_recovery -> Timeout_silence
+    | Timeout_silence | Extended_silence -> Extended_silence
+    | Timeout_recovery ->
+        (* The recovery retransmission must itself have been lost:
+           repetitive timeout. *)
+        Extended_silence
+    | Idle -> if obs.drops > 0 || obs.outstanding_drops > 0 then Timeout_silence else Idle
+  end
+  else if obs.retx_pkts > 0 then begin
+    match state with
+    | Timeout_silence | Extended_silence -> Timeout_recovery
+    | Timeout_recovery ->
+        if obs.outstanding_drops = 0 && obs.new_pkts > 0 then Slow_start
+        else Timeout_recovery
+    | Slow_start | Normal | Idle -> Loss_recovery
+    | Loss_recovery ->
+        if obs.outstanding_drops = 0 && obs.new_pkts > 0 then Normal
+        else Loss_recovery
+  end
+  else begin
+    (* New data flowing, no retransmissions. *)
+    match state with
+    | Slow_start -> if obs.drops > 0 then Loss_recovery
+        else if growing obs then Slow_start
+        else Normal
+    | Normal -> if obs.drops > 0 then Loss_recovery else Normal
+    | Loss_recovery ->
+        (* Recovered to steady progress. *)
+        if obs.outstanding_drops = 0 then Normal else Loss_recovery
+    | Timeout_recovery ->
+        (* Successful timeout recovery re-enters slow start with a
+           small window (Figure 7). *)
+        Slow_start
+    | Timeout_silence | Extended_silence ->
+        (* Data resumed without visible retransmissions (the lost
+           packet may have been retransmitted on a path we missed, or
+           sequence inference missed it): treat as timeout recovery. *)
+        Timeout_recovery
+    | Idle -> Normal
+  end
+
+let is_silent = function
+  | Timeout_silence | Extended_silence -> true
+  | Slow_start | Normal | Loss_recovery | Timeout_recovery | Idle -> false
+
+let is_recovering = function
+  | Loss_recovery | Timeout_recovery -> true
+  | Slow_start | Normal | Timeout_silence | Extended_silence | Idle -> false
+
+let to_string = function
+  | Slow_start -> "slow-start"
+  | Normal -> "normal"
+  | Loss_recovery -> "loss-recovery"
+  | Timeout_silence -> "timeout-silence"
+  | Timeout_recovery -> "timeout-recovery"
+  | Extended_silence -> "extended-silence"
+  | Idle -> "idle"
+
+let all =
+  [
+    Slow_start;
+    Normal;
+    Loss_recovery;
+    Timeout_silence;
+    Timeout_recovery;
+    Extended_silence;
+    Idle;
+  ]

@@ -1,0 +1,49 @@
+(** The approximate per-flow state model a TAQ middlebox maintains
+    (Figure 7 of the paper).
+
+    Unlike the idealized Markov model, this machine carries no
+    transition probabilities: transitions are driven by the four
+    per-epoch observables the middlebox tracks — new packets, highest
+    sequence progress, retransmissions, and drops it inflicted
+    (Section 3.3). The step function is pure so the state logic is
+    testable in isolation from the queue. *)
+
+type t =
+  | Slow_start  (** significant growth in new packets across epochs *)
+  | Normal  (** steady progress, no losses at the TAQ queue *)
+  | Loss_recovery  (** the middlebox dropped a packet; expecting
+                       retransmissions until the known drops are
+                       recovered *)
+  | Timeout_silence  (** a silent epoch after drops: the sender is
+                         waiting out an RTO *)
+  | Timeout_recovery  (** retransmissions after a timeout silence *)
+  | Extended_silence  (** multiple silent epochs: repetitive timeout *)
+  | Idle  (** the dummy silence state: nothing to send (e.g. waiting
+              for the next HTTP request on a persistent connection) *)
+
+type observation = {
+  new_pkts : int;  (** new data packets seen this epoch *)
+  retx_pkts : int;  (** inferred retransmissions seen this epoch *)
+  drops : int;  (** packets of this flow dropped at the TAQ queue this
+                    epoch *)
+  prev_new_pkts : int;  (** new packets in the previous epoch *)
+  outstanding_drops : int;  (** drops not yet matched by observed
+                                retransmissions *)
+}
+
+val initial : t
+(** Flows begin in {!Slow_start}. *)
+
+val step : t -> observation -> t
+(** Advance one epoch. *)
+
+val is_silent : t -> bool
+(** In a timeout-silence or extended-silence period. *)
+
+val is_recovering : t -> bool
+(** In loss or timeout recovery. *)
+
+val to_string : t -> string
+
+val all : t list
+(** Every state, for exhaustive tests. *)

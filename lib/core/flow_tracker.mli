@@ -1,0 +1,84 @@
+(** Per-flow observation state at the TAQ middlebox.
+
+    For every flow crossing the queue, tracks the paper's four epoch
+    parameters — new packets, highest sequence number, retransmissions,
+    and last-epoch losses (Section 3.3) — plus the derived quantities
+    queue management needs: the approximate state (Figure 7), silence
+    length, rate estimate, over-penalization, and epoch estimate.
+
+    Retransmissions are {e inferred} (sequence number at or below the
+    flow's highest seen), never read from the packet's sender-side
+    [retx] flag: a middlebox could not know it. *)
+
+type t
+
+type classification = New_data | Retransmission
+
+val create : config:Taq_config.t -> now:(unit -> float) -> t
+
+val observe_syn : t -> flow:int -> pool:int -> unit
+(** A SYN reached the queue (starts epoch estimation for the flow). *)
+
+val observe_data : t -> Taq_net.Packet.t -> classification
+(** A data packet arrived at the queue: classify it, update counters
+    and the epoch estimate. Creates flow state on first sight. *)
+
+val observe_drop : t -> Taq_net.Packet.t -> unit
+(** The queue dropped this packet (of an already-observed flow). *)
+
+val tick : t -> unit
+(** Housekeeping: roll epochs of flows that have gone quiet (their
+    state machine must advance through silent epochs even with no
+    packets arriving) and forget flows idle beyond the configured
+    timeout. Call periodically (the discipline schedules this). *)
+
+val state : t -> flow:int -> Flow_state.t
+(** Unknown flows report {!Flow_state.initial}. *)
+
+val silence_epochs : t -> flow:int -> int
+(** Consecutive fully-silent epochs ending now (0 for active flows) —
+    the recovery queue's priority key. *)
+
+val epoch_len : t -> flow:int -> float
+
+val epochs_observed : t -> flow:int -> int
+
+val rate_bps : t -> flow:int -> float
+(** Smoothed goodput estimate; 0 for unknown flows. *)
+
+val outstanding_drops : t -> flow:int -> int
+
+val recent_drops : t -> flow:int -> int
+(** Drops inflicted on the flow across the current and previous
+    epochs. *)
+
+val is_overpenalized : t -> flow:int -> bool
+(** More than [overpenalize_drops] drops across the current and
+    previous epochs. *)
+
+val is_new_flow : t -> flow:int -> bool
+(** Within its first [slowstart_epochs] epochs and still in slow
+    start. *)
+
+val active_flow_count : t -> int
+(** Flows seen within the last few epochs — the denominator of the
+    fair share. *)
+
+val tracked_flow_count : t -> int
+
+val fair_share_bps : ?flow:int -> t -> float
+(** The fair share in bits/second — equal split under fair queuing, or
+    the flow's RTT-weighted share under the proportional model (pass
+    [flow] so its epoch can be consulted). *)
+
+val active_pool_count : t -> int
+(** Distinct active flow pools (pool-less flows count as singletons). *)
+
+val pool_rate_bps : t -> flow:int -> float
+(** Aggregate smoothed rate of the flow's whole pool. *)
+
+val below_fair_share : t -> flow:int -> bool
+(** Under [pool_fairness] the comparison is the flow's {e pool}
+    aggregate rate against the per-pool fair share. *)
+
+val pool_of : t -> flow:int -> int

@@ -1,0 +1,70 @@
+type epoch_source =
+  | Estimated of {
+      default_epoch : float;
+      min_epoch : float;
+      max_epoch : float;
+      alpha : float;
+    }
+  | Oracle of float
+
+type admission = {
+  pthresh : float;
+  hysteresis : float;
+  t_wait : float;
+  pool_expiry : float;
+  loss_alpha : float;
+}
+
+type t = {
+  capacity_pkts : int;
+  fairness_model : Fair_share.model;
+  pool_fairness : bool;
+  capacity_bps : float;
+  recovery_share : float;
+  newflow_cap : int;
+  overpenalize_drops : int;
+  slowstart_epochs : int;
+  tick_interval : float;
+  epoch_source : epoch_source;
+  admission : admission option;
+  flow_idle_timeout : float;
+}
+
+let default_admission =
+  {
+    pthresh = 0.1;
+    hysteresis = 0.02;
+    t_wait = 2.5;
+    pool_expiry = 60.0;
+    loss_alpha = 0.005;
+  }
+
+let default ~capacity_pkts ~capacity_bps =
+  if capacity_pkts < 1 then invalid_arg "Taq_config.default: capacity_pkts";
+  if capacity_bps <= 0.0 then invalid_arg "Taq_config.default: capacity_bps";
+  {
+    capacity_pkts;
+    fairness_model = Fair_share.Fair_queuing;
+    pool_fairness = false;
+    capacity_bps;
+    recovery_share = 0.25;
+    newflow_cap = Stdlib.max 2 (capacity_pkts / 4);
+    (* §4.2's cumulative threshold. Flows already below their fair
+       share are additionally protected after any single recent drop
+       (§4.1) — see Taq_disc.classify. *)
+    overpenalize_drops = 2;
+    slowstart_epochs = 3;
+    tick_interval = 0.05;
+    (* The 1 s cap keeps silence periods from polluting the burst-based
+       estimate: epochs are RTTs, and RTTs beyond a second are outside
+       the regimes TAQ serves. Ablations show the capped estimator
+       matches an RTT oracle. *)
+    epoch_source =
+      Estimated
+        { default_epoch = 0.2; min_epoch = 0.02; max_epoch = 1.0; alpha = 0.25 };
+    admission = None;
+    flow_idle_timeout = 120.0;
+  }
+
+let with_admission ~capacity_pkts ~capacity_bps =
+  { (default ~capacity_pkts ~capacity_bps) with admission = Some default_admission }

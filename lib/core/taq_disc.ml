@@ -1,0 +1,230 @@
+module Sim = Taq_engine.Sim
+module Packet = Taq_net.Packet
+module Disc = Taq_net.Disc
+
+let log_src = Logs.Src.create "taq" ~doc:"TAQ middlebox decisions"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  enqueued : int;
+  dropped : int;
+  admission_rejected : int;
+  forced_recovery_drops : int;
+  drops_by_class : (Taq_queues.class_ * int) list;
+}
+
+type t = {
+  sim : Sim.t;
+  config : Taq_config.t;
+  tracker : Flow_tracker.t;
+  admission : Admission.t option;
+  queues : Taq_queues.t;
+  mutable last_tick : float;
+  mutable n_enqueued : int;
+  mutable n_dropped : int;
+  mutable n_admission_rejected : int;
+  mutable n_forced_recovery : int;
+  drop_counts : (Taq_queues.class_, int) Hashtbl.t;
+}
+
+(* Scheduling rank used only to decide push-out: an arrival may evict a
+   strictly lower-priority victim. *)
+let rank = function
+  | Taq_queues.Recovery -> 0
+  | Taq_queues.New_flow | Taq_queues.Over_penalized
+  | Taq_queues.Below_fair_share ->
+      1
+  | Taq_queues.Above_fair_share -> 2
+
+let create ~sim ~config () =
+  let now () = Sim.now sim in
+  {
+    sim;
+    config;
+    tracker = Flow_tracker.create ~config ~now;
+    admission =
+      Option.map
+        (fun a -> Admission.create ~config:a ~now)
+        config.Taq_config.admission;
+    queues = Taq_queues.create ~config ~now;
+    last_tick = now ();
+    n_enqueued = 0;
+    n_dropped = 0;
+    n_admission_rejected = 0;
+    n_forced_recovery = 0;
+    drop_counts = Hashtbl.create 8;
+  }
+
+let lazy_tick t =
+  let now = Sim.now t.sim in
+  if now -. t.last_tick >= t.config.Taq_config.tick_interval then begin
+    t.last_tick <- now;
+    Flow_tracker.tick t.tracker;
+    Option.iter Admission.expire t.admission
+  end
+
+let count_drop t cls =
+  t.n_dropped <- t.n_dropped + 1;
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.drop_counts cls) in
+  Hashtbl.replace t.drop_counts cls (prev + 1)
+
+let pool_key (p : Packet.t) = if p.pool >= 0 then p.pool else -p.flow - 2
+
+let classify t (p : Packet.t) classification =
+  match classification with
+  | Flow_tracker.Retransmission -> Taq_queues.Recovery
+  | Flow_tracker.New_data ->
+      if Flow_tracker.is_new_flow t.tracker ~flow:p.flow then
+        Taq_queues.New_flow
+      else begin
+        let below = Flow_tracker.below_fair_share t.tracker ~flow:p.flow in
+        (* The OverPenalized queue (§4.1/§4.2): flows beyond the
+           cumulative drop threshold, and — for flows already below
+           their fair share, whose windows are small enough that any
+           further loss means a timeout — flows with any drop in the
+           current or previous epoch. *)
+        if
+          Flow_tracker.is_overpenalized t.tracker ~flow:p.flow
+          || (below && Flow_tracker.recent_drops t.tracker ~flow:p.flow > 0)
+        then Taq_queues.Over_penalized
+        else if below then Taq_queues.Below_fair_share
+        else Taq_queues.Above_fair_share
+      end
+
+(* Admit [p] into class [cls], evicting a lower-priority victim when the
+   buffer is full. Returns the drops caused. *)
+let enqueue_with_pushout t (p : Packet.t) cls ~priority =
+  if Taq_queues.total_packets t.queues < t.config.Taq_config.capacity_pkts
+  then begin
+    Taq_queues.enqueue t.queues cls ~priority p;
+    t.n_enqueued <- t.n_enqueued + 1;
+    Option.iter Admission.note_arrival t.admission;
+    []
+  end
+  else begin
+    match Taq_queues.select_victim t.queues with
+    | Some victim_cls when rank victim_cls > rank cls -> (
+        match Taq_queues.drop_from t.queues victim_cls with
+        | Some victim ->
+            Flow_tracker.observe_drop t.tracker victim;
+            Option.iter Admission.note_drop t.admission;
+            count_drop t victim_cls;
+            Taq_queues.enqueue t.queues cls ~priority p;
+            t.n_enqueued <- t.n_enqueued + 1;
+            [ victim ]
+        | None ->
+            (* select_victim said non-empty; defensive fallback. *)
+            Flow_tracker.observe_drop t.tracker p;
+            Option.iter Admission.note_drop t.admission;
+            count_drop t cls;
+            [ p ])
+    | Some _ | None ->
+        (* The arrival is not higher priority than anything queued:
+           drop the arrival itself. *)
+        Flow_tracker.observe_drop t.tracker p;
+        Option.iter Admission.note_drop t.admission;
+        count_drop t cls;
+        if cls = Taq_queues.Recovery then begin
+          t.n_forced_recovery <- t.n_forced_recovery + 1;
+          Log.debug (fun m ->
+              m "t=%.3f forced recovery drop flow=%d seq=%d (buffer full)"
+                (Sim.now t.sim) p.Packet.flow p.Packet.seq)
+        end;
+        [ p ]
+  end
+
+let enqueue_syn t (p : Packet.t) =
+  Flow_tracker.observe_syn t.tracker ~flow:p.flow ~pool:p.pool;
+  let admission_ok =
+    match t.admission with
+    | None -> true
+    | Some a -> (
+        match Admission.on_syn a ~key:(pool_key p) with
+        | Admission.Admitted -> true
+        | Admission.Rejected -> false)
+  in
+  if not admission_ok then begin
+    t.n_admission_rejected <- t.n_admission_rejected + 1;
+    t.n_dropped <- t.n_dropped + 1;
+    Log.debug (fun m ->
+        m "t=%.3f admission rejected SYN flow=%d pool=%d" (Sim.now t.sim)
+          p.Packet.flow p.Packet.pool);
+    [ p ]
+  end
+  else if
+    (* The NewFlow queue occupancy cap throttles connection setup. *)
+    Taq_queues.class_length t.queues Taq_queues.New_flow
+    >= t.config.Taq_config.newflow_cap
+  then begin
+    count_drop t Taq_queues.New_flow;
+    [ p ]
+  end
+  else enqueue_with_pushout t p Taq_queues.New_flow ~priority:0.0
+
+let enqueue_data t (p : Packet.t) =
+  let classification = Flow_tracker.observe_data t.tracker p in
+  Option.iter (fun a -> Admission.touch a ~key:(pool_key p)) t.admission;
+  let cls = classify t p classification in
+  (* Data of a young flow falls back to BelowFairShare when the NewFlow
+     queue is at its cap: the cap throttles connections, not bytes. *)
+  let cls =
+    if
+      cls = Taq_queues.New_flow
+      && Taq_queues.class_length t.queues Taq_queues.New_flow
+         >= t.config.Taq_config.newflow_cap
+    then Taq_queues.Below_fair_share
+    else cls
+  in
+  let priority =
+    match cls with
+    | Taq_queues.Recovery ->
+        (* Longer silences served first (§4.1): retransmissions from
+           extended silence outrank those from a first silence, which
+           outrank fresh fast retransmissions. *)
+        float_of_int (Flow_tracker.silence_epochs t.tracker ~flow:p.flow)
+    | Taq_queues.New_flow | Taq_queues.Over_penalized
+    | Taq_queues.Below_fair_share | Taq_queues.Above_fair_share ->
+        0.0
+  in
+  enqueue_with_pushout t p cls ~priority
+
+let enqueue t (p : Packet.t) =
+  lazy_tick t;
+  match p.kind with
+  | Packet.Syn -> enqueue_syn t p
+  | Packet.Data -> enqueue_data t p
+  | Packet.Ack | Packet.Syn_ack | Packet.Fin ->
+      (* Control traffic on the forward path is rare in the evaluated
+         topologies; queue it with normal priority, exempt from flow
+         tracking. *)
+      enqueue_with_pushout t p Taq_queues.Below_fair_share ~priority:0.0
+
+let dequeue t =
+  lazy_tick t;
+  Taq_queues.dequeue t.queues
+
+let disc t =
+  {
+    Disc.name = "taq";
+    enqueue = (fun p -> enqueue t p);
+    dequeue = (fun () -> dequeue t);
+    length = (fun () -> Taq_queues.total_packets t.queues);
+    bytes = (fun () -> Taq_queues.total_bytes t.queues);
+  }
+
+let tracker t = t.tracker
+
+let admission t = t.admission
+
+let queues t = t.queues
+
+let stats t =
+  {
+    enqueued = t.n_enqueued;
+    dropped = t.n_dropped;
+    admission_rejected = t.n_admission_rejected;
+    forced_recovery_drops = t.n_forced_recovery;
+    drops_by_class =
+      Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) t.drop_counts [];
+  }

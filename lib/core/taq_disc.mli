@@ -1,0 +1,39 @@
+(** The TAQ middlebox assembled as a {!Taq_net.Disc.t} queue
+    discipline: flow tracking and classification on enqueue, the
+    5-queue / 3-level scheduler on dequeue, push-out buffer management,
+    and (optionally) flow-pool admission control on SYNs.
+
+    TAQ reads only what a middlebox can see: packet flow/pool ids,
+    kinds, sizes and sequence numbers. Retransmissions are inferred
+    from sequence numbers; epochs are estimated from packet timing
+    (unless the config selects the oracle ablation). *)
+
+type t
+
+type stats = {
+  enqueued : int;  (** packets accepted into some queue *)
+  dropped : int;  (** total drops, all causes *)
+  admission_rejected : int;  (** SYNs refused by admission control *)
+  forced_recovery_drops : int;
+      (** retransmissions dropped because every queue was full — the
+          "inevitable" case of §4.1 *)
+  drops_by_class : (Taq_queues.class_ * int) list;
+}
+
+val create : sim:Taq_engine.Sim.t -> config:Taq_config.t -> unit -> t
+
+val disc : t -> Taq_net.Disc.t
+(** The discipline to install on a {!Taq_net.Link}. *)
+
+val tracker : t -> Flow_tracker.t
+
+val admission : t -> Admission.t option
+
+val queues : t -> Taq_queues.t
+
+val stats : t -> stats
+
+val classify :
+  t -> Taq_net.Packet.t -> Flow_tracker.classification -> Taq_queues.class_
+(** The class a data packet of this flow would be queued into right
+    now — exposed for tests and introspection. *)

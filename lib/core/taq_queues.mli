@@ -1,0 +1,55 @@
+(** TAQ's five packet classes and the 3-level hierarchical scheduler
+    (Section 4.2).
+
+    - Level 1: the {e Recovery} queue — retransmissions only, served as
+      a strict priority queue ordered by the flow's silence length
+      (longest silence first), but capacity-limited by a token bucket
+      to a configured share of the link so retransmissions cannot
+      starve everything else.
+    - Level 2: {e NewFlow}, {e OverPenalized} and {e BelowFairShare} at
+      equal priority, served longest-queue-first (resources
+      proportional to queue demand). The NewFlow queue's occupancy cap
+      (enforced by the discipline at enqueue) throttles the admission
+      rate of new connections.
+    - Level 3: {e AboveFairShare}, strictly lowest priority.
+
+    The scheduler is work conserving: when the recovery bucket is out
+    of tokens, lower levels are served instead. *)
+
+type class_ =
+  | Recovery
+  | New_flow
+  | Over_penalized
+  | Below_fair_share
+  | Above_fair_share
+
+val class_to_string : class_ -> string
+
+type t
+
+val create : config:Taq_config.t -> now:(unit -> float) -> t
+
+val enqueue : t -> class_ -> ?priority:float -> Taq_net.Packet.t -> unit
+(** Add to a class queue. [priority] orders the Recovery queue
+    (higher = served first; the silence length in epochs); it is
+    ignored for FIFO classes. Capacity checks are the caller's job
+    ({!Taq_disc} decides drops). *)
+
+val dequeue : t -> Taq_net.Packet.t option
+(** Next packet per the 3-level policy. *)
+
+val total_packets : t -> int
+
+val total_bytes : t -> int
+
+val class_length : t -> class_ -> int
+
+val select_victim : t -> class_ option
+(** The class a push-out drop should come from: AboveFairShare first,
+    then the longest Level-2 queue, and only if everything else is
+    empty the Recovery queue. [None] when all queues are empty. *)
+
+val drop_from : t -> class_ -> Taq_net.Packet.t option
+(** Remove the push-out victim of a class: the most recently queued
+    packet (for Recovery: the lowest-priority entry, i.e. the
+    shortest-silence retransmission). *)

@@ -1,0 +1,22 @@
+(** Binary min-heap of timestamped events.
+
+    Ties on time are broken by insertion order (FIFO), which the
+    network simulation relies on for deterministic packet ordering. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+(** Earliest timestamp without removing. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,50 @@
+type handle = { mutable cancelled : bool; mutable fired : bool }
+
+type event = { h : handle; action : unit -> unit }
+
+type t = { mutable clock : float; calendar : event Event_heap.t }
+
+let create () = { clock = 0.0; calendar = Event_heap.create () }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: at=%g is before now=%g" at t.clock);
+  let h = { cancelled = false; fired = false } in
+  Event_heap.push t.calendar ~time:at { h; action = f };
+  h
+
+let schedule_after t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule t ~at:(t.clock +. delay) f
+
+let cancel h = h.cancelled <- true
+
+let is_pending h = (not h.cancelled) && not h.fired
+
+let step t =
+  match Event_heap.pop t.calendar with
+  | None -> false
+  | Some (time, ev) ->
+      t.clock <- time;
+      if not ev.h.cancelled then begin
+        ev.h.fired <- true;
+        ev.action ()
+      end;
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Event_heap.peek_time t.calendar, until) with
+    | None, _ -> continue := false
+    | Some next, Some stop when next > stop -> continue := false
+    | Some _, _ -> ignore (step t)
+  done;
+  match until with
+  | Some stop when stop > t.clock -> t.clock <- stop
+  | Some _ | None -> ()
+
+let pending_events t = Event_heap.size t.calendar

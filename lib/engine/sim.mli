@@ -1,0 +1,43 @@
+(** Discrete-event simulation core: a clock and an event calendar.
+
+    This is the substrate replacing ns2/ns3's scheduler. Events are
+    thunks executed at their scheduled time; within a timestamp they
+    run in scheduling order. The clock only moves when events run —
+    there is no time stepping. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation (e.g. TCP retransmission
+    timers that are re-armed on every ACK). *)
+
+val create : unit -> t
+(** A simulator with the clock at 0. *)
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] when the clock reaches [at]. Raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f].
+    Negative delays are clamped to 0. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-run or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : ?until:float -> t -> unit
+(** Execute events in time order until the calendar is empty or the
+    next event is strictly after [until]. When stopping on [until] the
+    clock is advanced to [until]. *)
+
+val step : t -> bool
+(** Execute exactly the next event; [false] if none remained. *)
+
+val pending_events : t -> int
+(** Number of scheduled (possibly cancelled) events — for tests and
+    leak hunting. *)

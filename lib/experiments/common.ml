@@ -1,0 +1,138 @@
+module Sim = Taq_engine.Sim
+module Dumbbell = Taq_net.Dumbbell
+module Tcp_config = Taq_tcp.Tcp_config
+module Tcp_session = Taq_tcp.Tcp_session
+module Tcp_receiver = Taq_tcp.Tcp_receiver
+module Tcp_sender = Taq_tcp.Tcp_sender
+module Taq_config = Taq_core.Taq_config
+module Taq_disc = Taq_core.Taq_disc
+
+type queue = Droptail | Red | Sfq | Drr | Taq of Taq_config.t
+
+let queue_name = function
+  | Droptail -> "droptail"
+  | Red -> "red"
+  | Sfq -> "sfq"
+  | Drr -> "drr"
+  | Taq _ -> "taq"
+
+type env = {
+  sim : Sim.t;
+  net : Dumbbell.t;
+  taq : Taq_disc.t option;
+  loss : Taq_metrics.Loss_monitor.t;
+  slicer : Taq_metrics.Slicer.t;
+  evolution : Taq_metrics.Flow_evolution.t;
+  prng : Taq_util.Prng.t;
+}
+
+let pkt_bytes = 500
+
+let default_tcp = Tcp_config.make ~use_syn:false ()
+
+let taq_config ?(admission = false) ~capacity_bps ~buffer_pkts () =
+  if admission then
+    Taq_config.with_admission ~capacity_pkts:buffer_pkts ~capacity_bps
+  else Taq_config.default ~capacity_pkts:buffer_pkts ~capacity_bps
+
+let make_env ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
+    ?(evolution_window = 5.0) ?(seed = 1) () =
+  Tcp_session.reset_flow_ids ();
+  let sim = Sim.create () in
+  let prng = Taq_util.Prng.create ~seed in
+  let taq = ref None in
+  let disc =
+    match queue with
+    | Droptail -> Taq_queueing.Droptail.create ~capacity_pkts:buffer_pkts
+    | Red ->
+        Taq_queueing.Red.create ~capacity_pkts:buffer_pkts
+          ~now:(fun () -> Sim.now sim)
+          ~prng:(Taq_util.Prng.split prng) ()
+    | Sfq -> Taq_queueing.Sfq.create ~capacity_pkts:buffer_pkts ()
+    | Drr -> Taq_queueing.Drr.create ~capacity_pkts:buffer_pkts ()
+    | Taq config ->
+        let t = Taq_disc.create ~sim ~config () in
+        taq := Some t;
+        Taq_disc.disc t
+  in
+  let net = Dumbbell.create ~sim ~capacity_bps ~disc () in
+  let loss = Taq_metrics.Loss_monitor.attach (Dumbbell.link net) in
+  {
+    sim;
+    net;
+    taq = !taq;
+    loss;
+    slicer = Taq_metrics.Slicer.create ~slice;
+    evolution = Taq_metrics.Flow_evolution.create ~window:evolution_window;
+    prng;
+  }
+
+let instrument env session =
+  let flow = Tcp_session.flow_id session in
+  let receiver = Tcp_session.receiver session in
+  Tcp_receiver.on_segment receiver (fun _seq ->
+      let time = Sim.now env.sim in
+      Taq_metrics.Slicer.record env.slicer ~flow ~time ~bytes:pkt_bytes;
+      Taq_metrics.Flow_evolution.note_activity env.evolution ~flow ~time)
+
+let spawn_long_flows env ?(tcp = default_tcp) ~n ~rtt ?(rtt_jitter = 0.0) () =
+  Array.init n (fun _ ->
+      let rtt_prop =
+        if rtt_jitter > 0.0 then
+          Taq_util.Prng.uniform env.prng ~lo:(rtt *. (1.0 -. rtt_jitter))
+            ~hi:(rtt *. (1.0 +. rtt_jitter))
+        else rtt
+      in
+      let session =
+        Tcp_session.create ~net:env.net ~config:tcp ~rtt_prop
+          ~total_segments:max_int ()
+      in
+      let flow = Tcp_session.flow_id session in
+      instrument env session;
+      Taq_metrics.Flow_evolution.note_start env.evolution ~flow
+        ~time:(Sim.now env.sim);
+      Tcp_session.start session;
+      flow)
+
+let spawn_finite_flow env ?(tcp = default_tcp) ?(pool = -1) ~segments ~rtt
+    ?at ~on_complete () =
+  let flow_ref = ref (-1) in
+  let session =
+    Tcp_session.create ~net:env.net ~config:tcp ~pool ~rtt_prop:rtt
+      ~total_segments:segments
+      ~on_complete:(fun time ->
+        Taq_metrics.Flow_evolution.note_finish env.evolution ~flow:!flow_ref
+          ~time;
+        on_complete time)
+      ()
+  in
+  let flow = Tcp_session.flow_id session in
+  flow_ref := flow;
+  instrument env session;
+  let start () =
+    Taq_metrics.Flow_evolution.note_start env.evolution ~flow
+      ~time:(Sim.now env.sim);
+    Tcp_session.start session
+  in
+  (match at with
+  | None -> start ()
+  | Some time -> ignore (Sim.schedule env.sim ~at:time start));
+  flow
+
+let run env ~until = Sim.run ~until env.sim
+
+let utilization env = Taq_net.Link.utilization (Dumbbell.link env.net)
+
+let measured_loss_rate env = Taq_metrics.Loss_monitor.overall_rate env.loss
+
+let flows_for_fair_share ~capacity_bps ~fair_share_bps =
+  Stdlib.max 1 (int_of_float (Float.round (capacity_bps /. fair_share_bps)))
+
+let buffer_for_rtts ~capacity_bps ~rtt ~rtts =
+  Stdlib.max 1
+    (int_of_float (capacity_bps *. rtt *. rtts /. (8.0 *. float_of_int pkt_bytes)))
+
+let taq_marker =
+  (* Placeholder replaced with a per-run capacity-aware config by the
+     experiment drivers. *)
+  Taq (Taq_config.default ~capacity_pkts:1 ~capacity_bps:1.0)

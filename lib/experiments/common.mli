@@ -1,0 +1,94 @@
+(** Shared scenario plumbing for the figure-reproduction experiments:
+    building a bottleneck with any of the evaluated queue disciplines,
+    spawning long-running and finite flows, and collecting the standard
+    measurements. *)
+
+type queue =
+  | Droptail
+  | Red  (** RED with Floyd's default parameters *)
+  | Sfq
+  | Drr  (** deficit round robin, the classic fair-queuing baseline *)
+  | Taq of Taq_core.Taq_config.t
+
+val queue_name : queue -> string
+
+type env = {
+  sim : Taq_engine.Sim.t;
+  net : Taq_net.Dumbbell.t;
+  taq : Taq_core.Taq_disc.t option;  (** present when [queue] was Taq *)
+  loss : Taq_metrics.Loss_monitor.t;
+  slicer : Taq_metrics.Slicer.t;
+  evolution : Taq_metrics.Flow_evolution.t;
+  prng : Taq_util.Prng.t;
+}
+
+val make_env :
+  queue:queue ->
+  capacity_bps:float ->
+  buffer_pkts:int ->
+  ?slice:float ->
+  ?evolution_window:float ->
+  ?seed:int ->
+  unit ->
+  env
+(** A fresh simulator, dumbbell and recorders. Resets the global flow-id
+    counter so experiments are independent. *)
+
+val taq_config :
+  ?admission:bool -> capacity_bps:float -> buffer_pkts:int -> unit ->
+  Taq_core.Taq_config.t
+(** The TAQ configuration used throughout the evaluation (estimated
+    epochs, paper defaults). *)
+
+val default_tcp : Taq_tcp.Tcp_config.t
+(** The evaluation's TCP: 500 B on-the-wire packets, NewReno, no
+    delayed acks, SYN handshake off (long-flow experiments drive
+    congestion dynamics, not setup). *)
+
+val spawn_long_flows :
+  env ->
+  ?tcp:Taq_tcp.Tcp_config.t ->
+  n:int ->
+  rtt:float ->
+  ?rtt_jitter:float ->
+  unit ->
+  int array
+(** Start [n] infinite flows; returns their flow ids. Goodput is
+    recorded in the env's slicer and evolution recorder. [rtt_jitter]
+    spreads propagation RTTs uniformly in
+    [rtt·(1-j) .. rtt·(1+j)]. *)
+
+val spawn_finite_flow :
+  env ->
+  ?tcp:Taq_tcp.Tcp_config.t ->
+  ?pool:int ->
+  segments:int ->
+  rtt:float ->
+  ?at:float ->
+  on_complete:(float -> unit) ->
+  unit ->
+  int
+(** Start one finite flow (optionally delayed to time [at]); returns
+    its flow id. [on_complete] receives the completion time. *)
+
+val run : env -> until:float -> unit
+
+val utilization : env -> float
+
+val measured_loss_rate : env -> float
+
+val pkt_bytes : int
+(** 500 — the paper's on-the-wire packet size. *)
+
+val flows_for_fair_share :
+  capacity_bps:float -> fair_share_bps:float -> int
+(** Number of competing flows giving each the target fair share. *)
+
+val buffer_for_rtts :
+  capacity_bps:float -> rtt:float -> rtts:float -> int
+(** Buffer size in packets equal to [rtts] round-trips of delay. *)
+
+val taq_marker : queue
+(** A TAQ queue selector whose config is rebuilt per run from the
+    run's capacity and buffer (experiment drivers replace it via
+    {!taq_config}). *)

@@ -1,0 +1,17 @@
+(** The experiment registry: every paper figure (and the ablations) as
+    a named, runnable target. Shared by the benchmark harness and the
+    [taq_sim] CLI. *)
+
+type target = {
+  name : string;  (** e.g. "fig2" *)
+  description : string;
+  run : full:bool -> unit;  (** runs and prints the figure's series;
+                                [full] selects full-fidelity
+                                parameters over the quick ones *)
+}
+
+val targets : target list
+
+val find : string -> target option
+
+val names : string list

@@ -1,0 +1,27 @@
+(** User-perceived hangs (Section 2.3): for a user whose browser holds
+    a pool of simultaneous TCP connections, a hang is an interval in
+    which {e none} of the pool's connections receives any data. *)
+
+type t
+
+val create : unit -> t
+
+val note_session_start : t -> pool:int -> time:float -> unit
+(** The user's session begins (the hang clock starts). *)
+
+val note_data : t -> pool:int -> time:float -> unit
+(** Some connection of the pool received data. *)
+
+val note_session_end : t -> pool:int -> time:float -> unit
+
+val gaps : t -> pool:int -> until:float -> float array
+(** All silent intervals of the pool, including the trailing one up to
+    [until] (or session end if earlier). Unknown pools yield [[||]]. *)
+
+val max_hang : t -> pool:int -> until:float -> float
+
+val fraction_with_hang :
+  t -> pools:int array -> min_hang:float -> until:float -> float
+(** Fraction of pools that perceived at least one hang of length
+    [>= min_hang] — the paper's "all users perceive at least one hang
+    longer than 20 seconds" metric. *)

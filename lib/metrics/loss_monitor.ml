@@ -1,0 +1,44 @@
+module Packet = Taq_net.Packet
+module Link = Taq_net.Link
+
+type t = {
+  ewma : Taq_util.Ewma.t;
+  data_only : bool;
+  mutable drops : int;
+  mutable accepted : int;
+}
+
+let counts_kind t (p : Packet.t) =
+  (not t.data_only)
+  ||
+  match p.kind with
+  | Packet.Data -> true
+  | Packet.Syn | Packet.Syn_ack | Packet.Ack | Packet.Fin -> false
+
+let attach ?(alpha = 0.001) ?(data_only = true) link =
+  let t =
+    { ewma = Taq_util.Ewma.create ~alpha; data_only; drops = 0; accepted = 0 }
+  in
+  Link.on_drop link (fun p ->
+      if counts_kind t p then begin
+        t.drops <- t.drops + 1;
+        Taq_util.Ewma.update t.ewma 1.0
+      end);
+  Link.on_enqueue link (fun p ->
+      if counts_kind t p then begin
+        t.accepted <- t.accepted + 1;
+        Taq_util.Ewma.update t.ewma 0.0
+      end);
+  t
+
+let arrivals t = t.drops + t.accepted
+
+let overall_rate t =
+  let n = arrivals t in
+  if n = 0 then 0.0 else float_of_int t.drops /. float_of_int n
+
+let smoothed_rate t =
+  if Taq_util.Ewma.is_initialized t.ewma then Taq_util.Ewma.value t.ewma
+  else 0.0
+
+let drops t = t.drops

@@ -1,0 +1,81 @@
+type t = {
+  slice : float;
+  cells : (int * int, int) Hashtbl.t;  (* (slice, flow) -> bytes *)
+  totals : (int, int) Hashtbl.t;  (* flow -> bytes *)
+  mutable max_slice : int;
+}
+
+let create ~slice =
+  if slice <= 0.0 then invalid_arg "Slicer.create: slice";
+  { slice; cells = Hashtbl.create 1024; totals = Hashtbl.create 64; max_slice = -1 }
+
+let slice_of t time = int_of_float (time /. t.slice)
+
+let record t ~flow ~time ~bytes =
+  let s = slice_of t time in
+  if s > t.max_slice then t.max_slice <- s;
+  let key = (s, flow) in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.cells key) in
+  Hashtbl.replace t.cells key (prev + bytes);
+  let tot = Option.value ~default:0 (Hashtbl.find_opt t.totals flow) in
+  Hashtbl.replace t.totals flow (tot + bytes)
+
+let slice_length t = t.slice
+
+let slice_count t = t.max_slice + 1
+
+let bytes_in_slice t ~slice ~flow =
+  Option.value ~default:0 (Hashtbl.find_opt t.cells (slice, flow))
+
+let flow_total t ~flow = Option.value ~default:0 (Hashtbl.find_opt t.totals flow)
+
+let slice_vector t ~flows ~slice =
+  Array.map (fun f -> float_of_int (bytes_in_slice t ~slice ~flow:f)) flows
+
+let jain_per_slice t ~flows =
+  Array.init (slice_count t) (fun s ->
+      Taq_util.Stats.jain_index (slice_vector t ~flows ~slice:s))
+
+let mean_jain t ~flows ?(first = 0) ?last () =
+  let last = match last with Some l -> l | None -> slice_count t - 1 in
+  let acc = ref 0.0 and n = ref 0 in
+  for s = first to last do
+    let v = slice_vector t ~flows ~slice:s in
+    if Taq_util.Stats.sum v > 0.0 then begin
+      acc := !acc +. Taq_util.Stats.jain_index v;
+      incr n
+    end
+  done;
+  if !n = 0 then nan else !acc /. float_of_int !n
+
+let long_term_jain t ~flows =
+  Taq_util.Stats.jain_index
+    (Array.map (fun f -> float_of_int (flow_total t ~flow:f)) flows)
+
+let silent_fraction t ~flows ~slice =
+  let n = Array.length flows in
+  if n = 0 then 0.0
+  else begin
+    let silent = ref 0 in
+    Array.iter
+      (fun f -> if bytes_in_slice t ~slice ~flow:f = 0 then incr silent)
+      flows;
+    float_of_int !silent /. float_of_int n
+  end
+
+let top_share t ~flows ~slice ~top_fraction =
+  let v = slice_vector t ~flows ~slice in
+  let total = Taq_util.Stats.sum v in
+  if total = 0.0 then 0.0
+  else begin
+    Array.sort (fun a b -> compare b a) v;
+    let k =
+      Stdlib.max 1
+        (int_of_float (ceil (top_fraction *. float_of_int (Array.length v))))
+    in
+    let acc = ref 0.0 in
+    for i = 0 to Stdlib.min (k - 1) (Array.length v - 1) do
+      acc := !acc +. v.(i)
+    done;
+    !acc /. total
+  end

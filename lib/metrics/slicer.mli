@@ -1,0 +1,42 @@
+(** Per-flow goodput accumulated into fixed time slices — the substrate
+    for the paper's short-term vs long-term fairness analysis
+    (Figures 2, 8, 11) and the shut-out/bandwidth-capture claims of
+    Section 2.3. *)
+
+type t
+
+val create : slice:float -> t
+(** [slice] is the window length in seconds (the paper uses 20 s for
+    short-term fairness and the whole run for long-term). *)
+
+val record : t -> flow:int -> time:float -> bytes:int -> unit
+(** Attribute [bytes] of goodput to [flow] at [time]. *)
+
+val slice_length : t -> float
+
+val slice_count : t -> int
+(** Highest slice index recorded + 1. *)
+
+val bytes_in_slice : t -> slice:int -> flow:int -> int
+
+val flow_total : t -> flow:int -> int
+
+val jain_per_slice : t -> flows:int array -> float array
+(** Jain Fairness Index of per-flow bytes within each slice, flows
+    without traffic counting as zero. *)
+
+val mean_jain : t -> flows:int array -> ?first:int -> ?last:int -> unit -> float
+(** Mean of {!jain_per_slice} over slices [first..last] (defaults:
+    all). Slices in which nobody transmitted are skipped. *)
+
+val long_term_jain : t -> flows:int array -> float
+(** Jain index of whole-run per-flow totals. *)
+
+val silent_fraction : t -> flows:int array -> slice:int -> float
+(** Fraction of flows with zero goodput in the slice ("completely shut
+    down" in the paper's wording). *)
+
+val top_share : t -> flows:int array -> slice:int -> top_fraction:float -> float
+(** Share of the slice's bytes consumed by the top [top_fraction] of
+    flows (the paper: "roughly 40% of the flows consume more than 80%
+    of the link bandwidth"). *)

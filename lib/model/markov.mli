@@ -1,0 +1,49 @@
+(** Finite discrete-time Markov chains and their stationary
+    distributions.
+
+    The paper's idealized TCP models (Figures 4 and 5) are built on
+    this module. Two independent solvers are provided; the test suite
+    checks they agree, which guards both implementations. *)
+
+type t
+
+val create : labels:string array -> matrix:float array array -> t
+(** [matrix.(i).(j)] is the transition probability i→j. Raises
+    [Invalid_argument] unless the matrix is square, matches the label
+    count, has non-negative entries and rows summing to 1 (within
+    1e-9; rows are then renormalized exactly). *)
+
+val size : t -> int
+
+val labels : t -> string array
+
+val index : t -> string -> int
+(** Index of a label. Raises [Not_found]. *)
+
+val probability : t -> int -> int -> float
+
+val step : t -> float array -> float array
+(** One application of the chain to a distribution. *)
+
+val stationary_power : ?max_iter:int -> ?tol:float -> t -> float array
+(** Power iteration from the uniform distribution. Converges for the
+    aperiodic, irreducible chains built here. *)
+
+val stationary_exact : t -> float array
+(** Direct solve of [πP = π, Σπ = 1] by Gaussian elimination with
+    partial pivoting. *)
+
+val hitting_times : t -> targets:int list -> float array
+(** Expected number of steps to first reach any state in [targets],
+    from every state (0 for the targets themselves). Solves
+    [h = 1 + Q h] on the non-target states by Gaussian elimination.
+    Raises [Invalid_argument] if [targets] is empty or some state
+    cannot reach a target (singular system). *)
+
+val expected_hits :
+  t -> start:int -> absorbing:int list -> horizon:int -> float array
+(** Expected visit counts per state over [horizon] steps starting from
+    [start], treating [absorbing] states as sinks — used for transient
+    (first-episode) analysis. *)
+
+val pp_distribution : t -> Format.formatter -> float array -> unit

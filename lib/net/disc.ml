@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  enqueue : Packet.t -> Packet.t list;
+  dequeue : unit -> Packet.t option;
+  length : unit -> int;
+  bytes : unit -> int;
+}
+
+let fifo_of_queue ~name ~capacity_pkts () =
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let enqueue p =
+    if Queue.length q >= capacity_pkts then [ p ]
+    else begin
+      Queue.add p q;
+      bytes := !bytes + p.Packet.size;
+      []
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some p ->
+        bytes := !bytes - p.Packet.size;
+        Some p
+  in
+  ( {
+      name;
+      enqueue;
+      dequeue;
+      length = (fun () -> Queue.length q);
+      bytes = (fun () -> !bytes);
+    },
+    q )

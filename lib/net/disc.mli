@@ -1,0 +1,28 @@
+(** The queue-discipline interface: what a bottleneck queue must
+    provide.
+
+    Disciplines are first-class records (not a functor) so that a
+    network can be parameterized over heterogeneous implementations at
+    runtime, and experiments can sweep over them from one driver.
+
+    [enqueue] returns the list of packets the discipline decided to
+    drop as a consequence of the offer. For tail-drop style schemes
+    this is either [[]] (accepted) or [[the offered packet]]; push-out
+    schemes such as TAQ may accept the offered packet and evict a
+    different one. The caller (the {!Link}) accounts for all returned
+    drops. *)
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> Packet.t list;
+      (** offer a packet; result = packets dropped by this action *)
+  dequeue : unit -> Packet.t option;
+      (** next packet to transmit, or [None] when empty *)
+  length : unit -> int;  (** packets queued *)
+  bytes : unit -> int;  (** bytes queued *)
+}
+
+val fifo_of_queue :
+  name:string -> capacity_pkts:int -> unit -> t * Packet.t Queue.t
+(** A plain bounded FIFO (tail-drop); exposed for building disciplines
+    and tests. Returns the discipline and its backing queue. *)

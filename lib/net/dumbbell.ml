@@ -1,0 +1,64 @@
+module Sim = Taq_engine.Sim
+
+type endpoints = {
+  rtt_prop : float;
+  deliver_fwd : Packet.t -> unit;
+  deliver_rev : Packet.t -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  link : Link.t;
+  flows : (int, endpoints) Hashtbl.t;
+}
+
+(* The flow's propagation RTT is split: a small fixed share ahead of the
+   queue (sender access), the rest on the return path. The split has no
+   observable effect (no other contention point), so we use 1/4 - 3/4,
+   which keeps SYNs reaching an admission-controlling queue quickly. *)
+let fwd_share = 0.25
+
+let create ~sim ~capacity_bps ?(link_delay = 0.0) ~disc () =
+  let flows = Hashtbl.create 64 in
+  let deliver p =
+    match Hashtbl.find_opt flows p.Packet.flow with
+    | None -> () (* flow finished; late packet evaporates *)
+    | Some ep -> ep.deliver_fwd p
+  in
+  let link = Link.create ~sim ~capacity_bps ~prop_delay:link_delay ~disc ~deliver in
+  { sim; link; flows }
+
+let register_flow t ~flow ~rtt_prop ~deliver_fwd ~deliver_rev =
+  if Hashtbl.mem t.flows flow then
+    invalid_arg (Printf.sprintf "Dumbbell.register_flow: flow %d exists" flow);
+  Hashtbl.replace t.flows flow { rtt_prop; deliver_fwd; deliver_rev }
+
+let unregister_flow t ~flow = Hashtbl.remove t.flows flow
+
+let access_delay t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> invalid_arg "Dumbbell: unknown flow"
+  | Some ep -> ep.rtt_prop *. fwd_share
+
+let return_delay t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | None -> invalid_arg "Dumbbell: unknown flow"
+  | Some ep -> ep.rtt_prop *. (1.0 -. fwd_share)
+
+let send_fwd t p =
+  let d = access_delay t p.Packet.flow in
+  ignore (Sim.schedule_after t.sim ~delay:d (fun () -> Link.send t.link p))
+
+let send_rev t p =
+  let d = return_delay t p.Packet.flow in
+  ignore
+    (Sim.schedule_after t.sim ~delay:d (fun () ->
+         match Hashtbl.find_opt t.flows p.Packet.flow with
+         | None -> ()
+         | Some ep -> ep.deliver_rev p))
+
+let link t = t.link
+
+let sim t = t.sim
+
+let flow_count t = Hashtbl.length t.flows

@@ -1,0 +1,53 @@
+(** The dumbbell topology used throughout the paper's evaluation: many
+    senders share one bottleneck link toward their receivers; all data
+    flows one way (download-centric web browsing), and acknowledgements
+    return on an uncongested path.
+
+    Per-flow propagation RTT is split into a sender-side component
+    (sender to bottleneck queue) and a return component (receiver back
+    to sender); the bottleneck adds queueing plus transmission time, so
+    the observed RTT is [rtt_prop + queueing + transmission] exactly as
+    in the ns2 setup. *)
+
+type t
+
+val create :
+  sim:Taq_engine.Sim.t ->
+  capacity_bps:float ->
+  ?link_delay:float ->
+  disc:Disc.t ->
+  unit ->
+  t
+(** [link_delay] is the bottleneck's own propagation delay (default
+    0; per-flow delays are given at {!register_flow}). *)
+
+val register_flow :
+  t ->
+  flow:int ->
+  rtt_prop:float ->
+  deliver_fwd:(Packet.t -> unit) ->
+  deliver_rev:(Packet.t -> unit) ->
+  unit
+(** Declare endpoints for [flow]. [rtt_prop] is the flow's two-way
+    propagation delay excluding the bottleneck's transmission and
+    queueing. [deliver_fwd] receives packets that crossed the
+    bottleneck (the receiver side); [deliver_rev] receives return-path
+    packets (the sender side). Raises [Invalid_argument] if the flow is
+    already registered. *)
+
+val unregister_flow : t -> flow:int -> unit
+(** Forget a finished flow (late packets to it are discarded). *)
+
+val send_fwd : t -> Packet.t -> unit
+(** Sender-side transmit: the packet crosses the sender's access delay,
+    then the bottleneck queue and link, then is delivered forward. *)
+
+val send_rev : t -> Packet.t -> unit
+(** Receiver-side transmit (ACKs, SYN-ACKs): pure delay, no
+    congestion. *)
+
+val link : t -> Link.t
+
+val sim : t -> Taq_engine.Sim.t
+
+val flow_count : t -> int

@@ -1,0 +1,23 @@
+type t = {
+  prng : Taq_util.Prng.t;
+  mutable p : float;
+  mutable dropped : int;
+  mutable passed : int;
+}
+
+let create ~prng ~p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "External_loss.create: p";
+  { prng; p; dropped = 0; passed = 0 }
+
+let wrap t deliver pkt =
+  if Taq_util.Prng.bernoulli t.prng ~p:t.p then t.dropped <- t.dropped + 1
+  else begin
+    t.passed <- t.passed + 1;
+    deliver pkt
+  end
+
+let set_p t p = t.p <- p
+
+let dropped t = t.dropped
+
+let passed t = t.passed

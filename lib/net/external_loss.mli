@@ -1,0 +1,20 @@
+(** Bernoulli packet loss injection.
+
+    Used to validate the Markov model under a controlled, truly
+    independent loss probability [p] (the model's single parameter),
+    and to emulate lossy channels outside the middlebox's control
+    (§4.1 "losses beyond the losses at a TAQ queue"). *)
+
+type t
+
+val create : prng:Taq_util.Prng.t -> p:float -> t
+(** Each packet is dropped independently with probability [p]. *)
+
+val wrap : t -> (Packet.t -> unit) -> Packet.t -> unit
+(** [wrap t deliver] is a delivery function that loses packets. *)
+
+val set_p : t -> float -> unit
+
+val dropped : t -> int
+
+val passed : t -> int

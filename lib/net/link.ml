@@ -1,0 +1,103 @@
+module Sim = Taq_engine.Sim
+
+type stats = {
+  offered : int;
+  transmitted : int;
+  dropped : int;
+  bytes_transmitted : int;
+  busy_time : float;
+}
+
+type t = {
+  sim : Sim.t;
+  capacity_bps : float;
+  prop_delay : float;
+  disc : Disc.t;
+  deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable offered : int;
+  mutable transmitted : int;
+  mutable dropped : int;
+  mutable bytes_transmitted : int;
+  mutable busy_time : float;
+  mutable drop_listeners : (Packet.t -> unit) list;
+  mutable enqueue_listeners : (Packet.t -> unit) list;
+  mutable deliver_listeners : (Packet.t -> unit) list;
+}
+
+let create ~sim ~capacity_bps ~prop_delay ~disc ~deliver =
+  if capacity_bps <= 0.0 then invalid_arg "Link.create: capacity";
+  {
+    sim;
+    capacity_bps;
+    prop_delay;
+    disc;
+    deliver;
+    busy = false;
+    offered = 0;
+    transmitted = 0;
+    dropped = 0;
+    bytes_transmitted = 0;
+    busy_time = 0.0;
+    drop_listeners = [];
+    enqueue_listeners = [];
+    deliver_listeners = [];
+  }
+
+let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
+
+let on_enqueue t f = t.enqueue_listeners <- f :: t.enqueue_listeners
+
+let on_deliver t f = t.deliver_listeners <- f :: t.deliver_listeners
+
+let tx_time t (p : Packet.t) = float_of_int (p.size * 8) /. t.capacity_bps
+
+let rec start_transmission t =
+  if not t.busy then begin
+    match t.disc.Disc.dequeue () with
+    | None -> ()
+    | Some p ->
+        t.busy <- true;
+        let dt = tx_time t p in
+        ignore
+          (Sim.schedule_after t.sim ~delay:dt (fun () ->
+               t.busy <- false;
+               t.transmitted <- t.transmitted + 1;
+               t.bytes_transmitted <- t.bytes_transmitted + p.Packet.size;
+               t.busy_time <- t.busy_time +. dt;
+               ignore
+                 (Sim.schedule_after t.sim ~delay:t.prop_delay (fun () ->
+                      List.iter (fun f -> f p) t.deliver_listeners;
+                      t.deliver p));
+               start_transmission t))
+  end
+
+let send t p =
+  t.offered <- t.offered + 1;
+  let dropped = t.disc.Disc.enqueue p in
+  let n_dropped = List.length dropped in
+  t.dropped <- t.dropped + n_dropped;
+  List.iter (fun d -> List.iter (fun f -> f d) t.drop_listeners) dropped;
+  (* The offered packet was accepted iff it is not among the drops. *)
+  let accepted = not (List.exists (fun d -> d.Packet.uid = p.Packet.uid) dropped) in
+  if accepted then List.iter (fun f -> f p) t.enqueue_listeners;
+  start_transmission t
+
+let stats t =
+  {
+    offered = t.offered;
+    transmitted = t.transmitted;
+    dropped = t.dropped;
+    bytes_transmitted = t.bytes_transmitted;
+    busy_time = t.busy_time;
+  }
+
+let utilization t =
+  let elapsed = Sim.now t.sim in
+  if elapsed <= 0.0 then 0.0 else t.busy_time /. elapsed
+
+let capacity_bps t = t.capacity_bps
+
+let queue_length t = t.disc.Disc.length ()
+
+let disc t = t.disc

@@ -1,0 +1,52 @@
+(** The bottleneck link: a queue discipline feeding a fixed-capacity
+    transmitter with propagation delay.
+
+    Work-conserving: whenever the transmitter is idle and the
+    discipline holds a packet, transmission starts immediately.
+    Utilization and drop statistics are tracked here so that every
+    experiment measures them identically. *)
+
+type t
+
+type stats = {
+  offered : int;  (** packets offered to the queue *)
+  transmitted : int;  (** packets fully transmitted *)
+  dropped : int;  (** packets dropped by the discipline *)
+  bytes_transmitted : int;
+  busy_time : float;  (** seconds the transmitter was busy *)
+}
+
+val create :
+  sim:Taq_engine.Sim.t ->
+  capacity_bps:float ->
+  prop_delay:float ->
+  disc:Disc.t ->
+  deliver:(Packet.t -> unit) ->
+  t
+(** [deliver] is called when a packet finishes transmission and
+    propagation. *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet to the discipline (and kick the transmitter). *)
+
+val on_drop : t -> (Packet.t -> unit) -> unit
+(** Register a drop listener (called for every packet the discipline
+    drops, after internal accounting). Multiple listeners allowed. *)
+
+val on_enqueue : t -> (Packet.t -> unit) -> unit
+(** Register a listener for every accepted packet. *)
+
+val on_deliver : t -> (Packet.t -> unit) -> unit
+(** Register a listener for every packet completing transmission and
+    propagation (invoked just before the link's [deliver]). *)
+
+val stats : t -> stats
+
+val utilization : t -> float
+(** Fraction of elapsed simulation time the transmitter was busy. *)
+
+val capacity_bps : t -> float
+
+val queue_length : t -> int
+
+val disc : t -> Disc.t

@@ -1,0 +1,87 @@
+module Sim = Taq_engine.Sim
+
+type stats = {
+  sent : int;
+  delivered : int;
+  lost : int;
+  retransmissions : int;
+  redundancy_bytes : int;
+}
+
+type t = {
+  sim : Sim.t;
+  prng : Taq_util.Prng.t;
+  raw_loss : float;
+  hop_delay : float;
+  max_attempts : int;
+  redundancy_budget : float;
+  deliver : Packet.t -> unit;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable retransmissions : int;
+  mutable carried_bytes : int;
+  mutable redundancy_bytes : int;
+}
+
+let create ~sim ~prng ~raw_loss ~hop_delay ?(max_attempts = 4)
+    ?(redundancy_budget = 0.5) ~deliver () =
+  if raw_loss < 0.0 || raw_loss >= 1.0 then invalid_arg "Overlay.create: raw_loss";
+  if max_attempts < 1 then invalid_arg "Overlay.create: max_attempts";
+  {
+    sim;
+    prng;
+    raw_loss;
+    hop_delay;
+    max_attempts;
+    redundancy_budget;
+    deliver;
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    retransmissions = 0;
+    carried_bytes = 0;
+    redundancy_bytes = 0;
+  }
+
+let budget_available t size =
+  float_of_int (t.redundancy_bytes + size)
+  <= t.redundancy_budget *. float_of_int (Stdlib.max 1 t.carried_bytes)
+
+let send t (p : Packet.t) =
+  t.sent <- t.sent + 1;
+  t.carried_bytes <- t.carried_bytes + p.size;
+  let rec attempt n =
+    if Taq_util.Prng.bernoulli t.prng ~p:t.raw_loss then begin
+      (* Lost on the underlay. Recovery needs the receiver-side node to
+         detect the gap and the sender-side node to resend: two extra
+         hop delays per attempt, and redundancy-budget headroom. *)
+      if n < t.max_attempts && budget_available t p.size then begin
+        t.retransmissions <- t.retransmissions + 1;
+        t.redundancy_bytes <- t.redundancy_bytes + p.size;
+        ignore
+          (Sim.schedule_after t.sim ~delay:(2.0 *. t.hop_delay) (fun () ->
+               attempt (n + 1)))
+      end
+      else t.lost <- t.lost + 1
+    end
+    else
+      ignore
+        (Sim.schedule_after t.sim ~delay:t.hop_delay (fun () ->
+             t.delivered <- t.delivered + 1;
+             t.deliver p))
+  in
+  attempt 1
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    lost = t.lost;
+    retransmissions = t.retransmissions;
+    redundancy_bytes = t.redundancy_bytes;
+  }
+
+let residual_loss_rate t =
+  let finished = t.delivered + t.lost in
+  if finished = 0 then 0.0 else float_of_int t.lost /. float_of_int finished

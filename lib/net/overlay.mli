@@ -1,0 +1,52 @@
+(** A controlled-loss virtual link between two overlay nodes, in the
+    spirit of OverQoS (Section 4.4 of the paper).
+
+    When TAQ middleboxes are overlay nodes rather than routers, the
+    path between them suffers unpredictable cross-traffic loss that the
+    middlebox cannot control — and unless the middlebox controls which
+    packets are dropped, no queue-management policy can provide
+    quality of service. The fix is a virtual-link layer that conceals
+    underlay loss: each packet crossing the virtual link is
+    retransmitted hop-by-hop (within a bounded number of attempts and a
+    bandwidth budget), exposing a link whose residual loss rate is
+    [p_raw^(attempts)] — negligible for practical settings — at the
+    cost of occasional extra latency and redundancy bandwidth.
+
+    This lets every TAQ experiment run unchanged over a lossy underlay:
+    install the TAQ queue at the overlay ingress and wrap the delivery
+    side with {!create}. *)
+
+type t
+
+type stats = {
+  sent : int;  (** packets offered to the virtual link *)
+  delivered : int;
+  lost : int;  (** packets lost even after all retries *)
+  retransmissions : int;  (** hop-by-hop recovery transmissions *)
+  redundancy_bytes : int;  (** bytes spent on recovery *)
+}
+
+val create :
+  sim:Taq_engine.Sim.t ->
+  prng:Taq_util.Prng.t ->
+  raw_loss:float ->
+  hop_delay:float ->
+  ?max_attempts:int ->
+  ?redundancy_budget:float ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [raw_loss] is the underlay's per-transmission loss probability;
+    [hop_delay] the one-way overlay hop latency (each recovery attempt
+    costs two hop delays: the loss discovery and the retransmission).
+    [max_attempts] bounds transmissions per packet (default 4).
+    [redundancy_budget] caps the fraction of carried bytes spendable
+    on recovery (default 0.5); past the budget, losses become visible
+    — mirroring OverQoS's bounded-overhead guarantee. *)
+
+val send : t -> Packet.t -> unit
+
+val stats : t -> stats
+
+val residual_loss_rate : t -> float
+(** Observed end-to-end loss across the virtual link. *)

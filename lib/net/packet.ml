@@ -1,0 +1,34 @@
+type kind = Syn | Syn_ack | Data | Ack | Fin
+
+type t = {
+  uid : int;
+  flow : int;
+  pool : int;
+  kind : kind;
+  seq : int;
+  size : int;
+  retx : bool;
+  sacks : (int * int) list;
+  sent_at : float;
+}
+
+let uid_counter = ref 0
+
+let reset_uid_counter () = uid_counter := 0
+
+let make ~flow ?(pool = -1) ~kind ~seq ~size ?(retx = false) ?(sacks = [])
+    ~sent_at () =
+  incr uid_counter;
+  { uid = !uid_counter; flow; pool; kind; seq; size; retx; sacks; sent_at }
+
+let kind_to_string = function
+  | Syn -> "SYN"
+  | Syn_ack -> "SYN-ACK"
+  | Data -> "DATA"
+  | Ack -> "ACK"
+  | Fin -> "FIN"
+
+let pp ppf p =
+  Format.fprintf ppf "[%s flow=%d seq=%d size=%d%s]" (kind_to_string p.kind)
+    p.flow p.seq p.size
+    (if p.retx then " retx" else "")

@@ -1,0 +1,47 @@
+(** Packets as seen on the wire and by queue disciplines.
+
+    A middlebox (and therefore every queue discipline, including TAQ)
+    only sees these fields — never TCP-sender internals. Sequence
+    numbers are in segments, not bytes: the whole simulation uses
+    fixed-size segments, as the paper's simulations do. *)
+
+type kind =
+  | Syn  (** connection request (subject to admission control) *)
+  | Syn_ack  (** connection accept, travels on the uncongested path *)
+  | Data  (** one MSS-sized segment, [seq] is the segment index *)
+  | Ack  (** cumulative ack, [seq] is the next expected segment *)
+  | Fin  (** end of flow marker *)
+
+type t = {
+  uid : int;  (** unique per packet instance (retransmits get fresh uids) *)
+  flow : int;  (** flow identifier *)
+  pool : int;  (** flow-pool identifier, [-1] when the flow has no pool *)
+  kind : kind;
+  seq : int;
+  size : int;  (** bytes on the wire, headers included *)
+  retx : bool;  (** is this a retransmission (sender-side knowledge;
+                    disciplines must not read it — they infer) *)
+  sacks : (int * int) list;
+      (** SACK blocks on an Ack: [lo, hi)] segment ranges *)
+  sent_at : float;  (** time the packet entered the network *)
+}
+
+val make :
+  flow:int ->
+  ?pool:int ->
+  kind:kind ->
+  seq:int ->
+  size:int ->
+  ?retx:bool ->
+  ?sacks:(int * int) list ->
+  sent_at:float ->
+  unit ->
+  t
+(** Allocate a packet with a fresh [uid]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val kind_to_string : kind -> string
+
+val reset_uid_counter : unit -> unit
+(** For test isolation only. *)

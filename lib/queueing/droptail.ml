@@ -1,0 +1,7 @@
+let create ~capacity_pkts =
+  let disc, _q = Taq_net.Disc.fifo_of_queue ~name:"droptail" ~capacity_pkts () in
+  disc
+
+let capacity_for_rtt ~capacity_bps ~rtt ~pkt_bytes =
+  let pkts = capacity_bps *. rtt /. (8.0 *. float_of_int pkt_bytes) in
+  Stdlib.max 1 (int_of_float pkts)

@@ -1,0 +1,9 @@
+(** Tail-drop FIFO — the paper's baseline (DT). *)
+
+val create : capacity_pkts:int -> Taq_net.Disc.t
+(** Drops arrivals once [capacity_pkts] packets are queued. *)
+
+val capacity_for_rtt :
+  capacity_bps:float -> rtt:float -> pkt_bytes:int -> int
+(** The "one RTT's worth of buffering" sizing used throughout the
+    paper: [capacity·rtt / (8·pkt_bytes)], at least 1 packet. *)

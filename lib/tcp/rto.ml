@@ -1,0 +1,39 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable has_sample : bool;
+}
+
+let create ~min_rto ~max_rto =
+  if min_rto <= 0.0 || max_rto < min_rto then invalid_arg "Rto.create";
+  { min_rto; max_rto; srtt = nan; rttvar = nan; has_sample = false }
+
+let alpha = 0.125
+
+let beta = 0.25
+
+let observe t r =
+  if r < 0.0 then invalid_arg "Rto.observe: negative sample";
+  if t.has_sample then begin
+    t.rttvar <- ((1.0 -. beta) *. t.rttvar) +. (beta *. Float.abs (t.srtt -. r));
+    t.srtt <- ((1.0 -. alpha) *. t.srtt) +. (alpha *. r)
+  end
+  else begin
+    t.srtt <- r;
+    t.rttvar <- r /. 2.0;
+    t.has_sample <- true
+  end
+
+let clamp t x = Float.min t.max_rto (Float.max t.min_rto x)
+
+let timeout t =
+  if not t.has_sample then clamp t 1.0
+  else clamp t (t.srtt +. (4.0 *. t.rttvar))
+
+let srtt t = t.srtt
+
+let rttvar t = t.rttvar
+
+let has_sample t = t.has_sample

@@ -1,0 +1,184 @@
+type status = In_flight of { sent_at : float; ever_retx : bool } | Sacked | Lost
+
+(* A plain int min-heap with lazy deletion, holding candidate lost
+   sequence numbers. Stale entries (segments no longer Lost) are
+   filtered on pop, making next_lost O(log n) amortized instead of a
+   scan of the whole window — a go-back-N recovery of a large window
+   would otherwise be quadratic. *)
+module Lost_heap = struct
+  type t = { mutable a : int array; mutable size : int }
+
+  let create () = { a = Array.make 16 0; size = 0 }
+
+  let push h x =
+    if h.size = Array.length h.a then begin
+      let bigger = Array.make (2 * h.size) 0 in
+      Array.blit h.a 0 bigger 0 h.size;
+      h.a <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.a.(!i) <- x;
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.a.(parent) in
+      h.a.(parent) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.a.(0) <- h.a.(h.size);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < h.size && h.a.(l) < h.a.(!smallest) then smallest := l;
+          if r < h.size && h.a.(r) < h.a.(!smallest) then smallest := r;
+          if !smallest <> !i then begin
+            let tmp = h.a.(!i) in
+            h.a.(!i) <- h.a.(!smallest);
+            h.a.(!smallest) <- tmp;
+            i := !smallest
+          end
+          else continue := false
+        done
+      end;
+      Some top
+    end
+
+  let peek h = if h.size = 0 then None else Some h.a.(0)
+end
+
+type t = {
+  segs : (int, status) Hashtbl.t;
+  lost_candidates : Lost_heap.t;
+  mutable pipe : int;
+  mutable lost : int;
+  mutable sacked : int;
+}
+
+let create () =
+  {
+    segs = Hashtbl.create 64;
+    lost_candidates = Lost_heap.create ();
+    pipe = 0;
+    lost = 0;
+    sacked = 0;
+  }
+
+let status t seq = Hashtbl.find_opt t.segs seq
+
+let on_transmit t ~seq ~at ~retx =
+  let ever_retx =
+    retx
+    ||
+    match Hashtbl.find_opt t.segs seq with
+    | Some (In_flight { ever_retx; _ }) -> ever_retx
+    | Some Lost | Some Sacked | None -> retx
+  in
+  (match Hashtbl.find_opt t.segs seq with
+  | Some (In_flight _) -> () (* spurious double transmit: pipe unchanged *)
+  | Some Lost ->
+      t.lost <- t.lost - 1;
+      t.pipe <- t.pipe + 1
+  | Some Sacked ->
+      (* resending a sacked segment would be a sender bug *)
+      assert false
+  | None -> t.pipe <- t.pipe + 1);
+  Hashtbl.replace t.segs seq (In_flight { sent_at = at; ever_retx })
+
+let pipe t = t.pipe
+
+let tracked t = Hashtbl.length t.segs
+
+let forget t seq =
+  match Hashtbl.find_opt t.segs seq with
+  | None -> ()
+  | Some st ->
+      (match st with
+      | In_flight _ -> t.pipe <- t.pipe - 1
+      | Lost -> t.lost <- t.lost - 1
+      | Sacked -> t.sacked <- t.sacked - 1);
+      Hashtbl.remove t.segs seq
+
+let ack_range t ~from_ ~until =
+  for seq = from_ to until - 1 do
+    forget t seq
+  done
+
+let mark_sacked t seq =
+  match Hashtbl.find_opt t.segs seq with
+  | Some (In_flight _) ->
+      t.pipe <- t.pipe - 1;
+      t.sacked <- t.sacked + 1;
+      Hashtbl.replace t.segs seq Sacked
+  | Some Lost ->
+      t.lost <- t.lost - 1;
+      t.sacked <- t.sacked + 1;
+      Hashtbl.replace t.segs seq Sacked
+  | Some Sacked | None -> ()
+
+let mark_lost t seq =
+  match Hashtbl.find_opt t.segs seq with
+  | Some (In_flight _) ->
+      t.pipe <- t.pipe - 1;
+      t.lost <- t.lost + 1;
+      Hashtbl.replace t.segs seq Lost;
+      Lost_heap.push t.lost_candidates seq
+  | Some Lost | Some Sacked | None -> ()
+
+let mark_all_lost t =
+  let in_flight = ref [] in
+  Hashtbl.iter
+    (fun seq st ->
+      match st with
+      | In_flight _ -> in_flight := seq :: !in_flight
+      | Lost | Sacked -> ())
+    t.segs;
+  List.iter (mark_lost t) !in_flight
+
+let rec next_lost t =
+  if t.lost = 0 then None
+  else
+    match Lost_heap.peek t.lost_candidates with
+    | None -> None
+    | Some seq -> (
+        match Hashtbl.find_opt t.segs seq with
+        | Some Lost -> Some seq
+        | Some (In_flight _) | Some Sacked | None ->
+            (* Stale candidate (retransmitted, sacked or acked since):
+               discard and keep looking. *)
+            ignore (Lost_heap.pop t.lost_candidates);
+            next_lost t)
+
+let lost_count t = t.lost
+
+let sacked_count t = t.sacked
+
+let sacked_above t seq0 =
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun seq st ->
+      match st with
+      | Sacked -> if seq > seq0 then incr n
+      | In_flight _ | Lost -> ())
+    t.segs;
+  !n
+
+let sent_info t seq =
+  match Hashtbl.find_opt t.segs seq with
+  | Some (In_flight { sent_at; ever_retx }) -> Some (sent_at, ever_retx)
+  | Some Lost | Some Sacked | None -> None
+
+let iter_in_flight t f =
+  Hashtbl.iter
+    (fun seq st ->
+      match st with In_flight _ -> f seq | Lost | Sacked -> ())
+    t.segs

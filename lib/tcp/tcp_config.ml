@@ -1,0 +1,78 @@
+type variant = Reno | Newreno | Sack
+
+type growth = Aimd | Cubic
+
+type t = {
+  variant : variant;
+  growth : growth;
+  mss : int;
+  header_bytes : int;
+  ack_bytes : int;
+  init_cwnd : float;
+  init_ssthresh : float;
+  dupack_thresh : int;
+  min_rto : float;
+  max_rto : float;
+  max_backoff : int;
+  rcv_wnd : int;
+  syn_timeout : float;
+  syn_retry_doubling : bool;
+  max_syn_retries : int;
+  use_syn : bool;
+  delayed_ack : float option;
+}
+
+let default =
+  {
+    variant = Newreno;
+    growth = Aimd;
+    mss = 460;
+    header_bytes = 40;
+    ack_bytes = 40;
+    init_cwnd = 2.0;
+    init_ssthresh = 64.0;
+    dupack_thresh = 3;
+    min_rto = 0.2;
+    max_rto = 60.0;
+    max_backoff = 64;
+    rcv_wnd = 1_000_000;
+    syn_timeout = 3.0;
+    syn_retry_doubling = true;
+    max_syn_retries = 1000;
+    use_syn = true;
+    delayed_ack = None;
+  }
+
+let cubic = { default with growth = Cubic; init_cwnd = 10.0 }
+
+let make ?(variant = default.variant) ?(growth = default.growth)
+    ?(mss = default.mss)
+    ?(header_bytes = default.header_bytes) ?(ack_bytes = default.ack_bytes)
+    ?(init_cwnd = default.init_cwnd) ?(init_ssthresh = default.init_ssthresh)
+    ?(dupack_thresh = default.dupack_thresh) ?(min_rto = default.min_rto)
+    ?(max_rto = default.max_rto) ?(max_backoff = default.max_backoff)
+    ?(rcv_wnd = default.rcv_wnd) ?(syn_timeout = default.syn_timeout)
+    ?(syn_retry_doubling = default.syn_retry_doubling)
+    ?(max_syn_retries = default.max_syn_retries) ?(use_syn = default.use_syn)
+    ?(delayed_ack = default.delayed_ack) () =
+  {
+    variant;
+    growth;
+    mss;
+    header_bytes;
+    ack_bytes;
+    init_cwnd;
+    init_ssthresh;
+    dupack_thresh;
+    min_rto;
+    max_rto;
+    max_backoff;
+    rcv_wnd;
+    syn_timeout;
+    syn_retry_doubling;
+    max_syn_retries;
+    use_syn;
+    delayed_ack;
+  }
+
+let packet_bytes t = t.mss + t.header_bytes

@@ -1,0 +1,157 @@
+module Packet = Taq_net.Packet
+
+type t = {
+  flow : int;
+  pool : int;
+  config : Tcp_config.t;
+  now : unit -> float;
+  send : Packet.t -> unit;
+  schedule : (delay:float -> (unit -> unit) -> unit) option;
+  ooo : (int, unit) Hashtbl.t;  (* received above cum (out of order) *)
+  mutable cum : int;
+  mutable unique : int;
+  mutable dups : int;
+  mutable recent : int list;  (* most-recently received, for SACK blocks *)
+  mutable listeners : (int -> unit) list;
+  mutable ack_pending : bool;  (* delayed-ack state *)
+  mutable acks_sent : int;
+}
+
+let create ~flow ?(pool = -1) ~config ~now ~send ?schedule () =
+  {
+    flow;
+    pool;
+    config;
+    now;
+    send;
+    schedule;
+    ooo = Hashtbl.create 16;
+    cum = 0;
+    unique = 0;
+    dups = 0;
+    recent = [];
+    listeners = [];
+    ack_pending = false;
+    acks_sent = 0;
+  }
+
+let acks_sent t = t.acks_sent
+
+let on_segment t f = t.listeners <- f :: t.listeners
+
+let cum_ack t = t.cum
+
+let unique_segments t = t.unique
+
+let duplicate_segments t = t.dups
+
+(* SACK blocks: contiguous runs over the out-of-order set, reported
+   most-recent-first, at most 3 blocks (as a real header would carry).
+   Only computed when the connection speaks SACK, and run expansion is
+   bounded so per-ack work stays O(1) even when a bulk transfer has
+   thousands of contiguous out-of-order segments buffered. *)
+let max_run_walk = 256
+
+let sack_blocks t =
+  if Hashtbl.length t.ooo = 0 then []
+  else begin
+    let run_of seq =
+      let lo = ref seq and hi = ref seq in
+      let steps = ref 0 in
+      while Hashtbl.mem t.ooo (!lo - 1) && !steps < max_run_walk do
+        decr lo;
+        incr steps
+      done;
+      steps := 0;
+      while Hashtbl.mem t.ooo (!hi + 1) && !steps < max_run_walk do
+        incr hi;
+        incr steps
+      done;
+      (!lo, !hi + 1)
+    in
+    let blocks = ref [] in
+    let covered (lo, hi) seq = seq >= lo && seq < hi in
+    List.iter
+      (fun seq ->
+        if
+          Hashtbl.mem t.ooo seq
+          && (not (List.exists (fun b -> covered b seq) !blocks))
+          && List.length !blocks < 3
+        then blocks := run_of seq :: !blocks)
+      t.recent;
+    List.rev !blocks
+  end
+
+let send_ack_now t =
+  let sacks =
+    match t.config.Tcp_config.variant with
+    | Tcp_config.Sack -> sack_blocks t
+    | Tcp_config.Reno | Tcp_config.Newreno -> []
+  in
+  let pkt =
+    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Ack ~seq:t.cum
+      ~size:t.config.Tcp_config.ack_bytes ~sacks ~sent_at:(t.now ()) ()
+  in
+  t.ack_pending <- false;
+  t.acks_sent <- t.acks_sent + 1;
+  t.send pkt
+
+(* RFC 1122 delayed acks: acknowledge every second in-order segment, or
+   after the delay expires. Duplicates and out-of-order arrivals are
+   acked immediately (dupacks drive fast retransmit and must not be
+   delayed). *)
+let send_ack ?(in_order = false) t =
+  match (t.config.Tcp_config.delayed_ack, t.schedule) with
+  | Some delay, Some schedule when in_order ->
+      if t.ack_pending then send_ack_now t
+      else begin
+        t.ack_pending <- true;
+        schedule ~delay (fun () -> if t.ack_pending then send_ack_now t)
+      end
+  | (None | Some _), _ -> send_ack_now t
+
+let send_syn_ack t =
+  let pkt =
+    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn_ack ~seq:0
+      ~size:t.config.Tcp_config.ack_bytes ~sent_at:(t.now ()) ()
+  in
+  t.send pkt
+
+let note_recent t seq =
+  let keep = 8 in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.recent <- take keep (seq :: List.filter (fun s -> s <> seq) t.recent)
+
+let on_packet t (p : Packet.t) =
+  match p.kind with
+  | Packet.Syn -> send_syn_ack t
+  | Packet.Data ->
+      let seq = p.seq in
+      if seq < t.cum || Hashtbl.mem t.ooo seq then begin
+        t.dups <- t.dups + 1;
+        note_recent t seq;
+        send_ack t
+      end
+      else begin
+        t.unique <- t.unique + 1;
+        List.iter (fun f -> f seq) t.listeners;
+        note_recent t seq;
+        if seq = t.cum then begin
+          t.cum <- t.cum + 1;
+          while Hashtbl.mem t.ooo t.cum do
+            Hashtbl.remove t.ooo t.cum;
+            t.cum <- t.cum + 1
+          done;
+          send_ack ~in_order:true t
+        end
+        else begin
+          Hashtbl.replace t.ooo seq ();
+          send_ack t
+        end
+      end
+  | Packet.Fin -> send_ack t
+  | Packet.Ack | Packet.Syn_ack -> ()

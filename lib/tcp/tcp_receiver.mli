@@ -1,0 +1,37 @@
+(** TCP receiver: immediate (non-delayed) cumulative acknowledgements
+    with optional SACK blocks, per the paper's simulation setup. *)
+
+type t
+
+val create :
+  flow:int ->
+  ?pool:int ->
+  config:Tcp_config.t ->
+  now:(unit -> float) ->
+  send:(Taq_net.Packet.t -> unit) ->
+  ?schedule:(delay:float -> (unit -> unit) -> unit) ->
+  unit ->
+  t
+(** [send] transmits acks on the (uncongested) return path.
+    [schedule] is needed only when the config enables delayed acks
+    (the delay timer must fire even if no further packet arrives);
+    without it delayed-ack configs fall back to immediate acking. *)
+
+val acks_sent : t -> int
+(** Pure acknowledgements transmitted (for delayed-ack tests). *)
+
+val on_packet : t -> Taq_net.Packet.t -> unit
+(** Deliver a forward-path packet (SYN or DATA) to the receiver. *)
+
+val cum_ack : t -> int
+(** Next expected segment (= count of in-order segments received). *)
+
+val unique_segments : t -> int
+(** Distinct data segments received (in or out of order). *)
+
+val duplicate_segments : t -> int
+(** Redundant deliveries (retransmissions of already-received data). *)
+
+val on_segment : t -> (int -> unit) -> unit
+(** Listener invoked with the segment index for every {e new} (not
+    previously received) data segment — the goodput hook. *)

@@ -1,0 +1,450 @@
+module Sim = Taq_engine.Sim
+module Packet = Taq_net.Packet
+module C = Tcp_config
+
+type stats = {
+  data_sent : int;
+  retx_sent : int;
+  timeouts : int;
+  fast_retransmits : int;
+  syn_sent : int;
+  max_backoff_seen : int;
+}
+
+type state = Closed | Syn_sent | Established | Complete | Failed
+
+type t = {
+  sim : Sim.t;
+  config : C.t;
+  flow : int;
+  pool : int;
+  mutable total : int;
+  close_on_drain : bool;
+  mutable close_requested : bool;
+  transmit : Packet.t -> unit;
+  on_complete : float -> unit;
+  on_fail : float -> unit;
+  sb : Scoreboard.t;
+  rto : Rto.t;
+  mutable state : state;
+  mutable snd_una : int;
+  mutable next_seq : int;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable dupacks : int;
+  mutable inflation : int;  (* dupack window inflation during recovery *)
+  mutable in_recovery : bool;
+  mutable recover : int;  (* highest seq sent when recovery began *)
+  mutable backoff : int;
+  (* CUBIC growth state: window before the last reduction and the time
+     of that reduction (nan before any loss). *)
+  mutable cubic_wmax : float;
+  mutable cubic_t0 : float;
+  mutable rtx_timer : Sim.handle option;
+  mutable syn_timer : Sim.handle option;
+  mutable syn_retries : int;
+  mutable syn_sent_at : float;
+  (* counters *)
+  mutable n_data_sent : int;
+  mutable n_retx_sent : int;
+  mutable n_timeouts : int;
+  mutable n_fast_retransmits : int;
+  mutable n_syn_sent : int;
+  mutable max_backoff_seen : int;
+  mutable transmit_listeners : (Packet.t -> unit) list;
+  mutable timeout_listeners : (float -> unit) list;
+  mutable progress_listeners : (int -> unit) list;
+}
+
+let create ~sim ~config ~flow ?(pool = -1) ~total_segments
+    ?(close_on_drain = true) ~transmit ?(on_complete = fun _ -> ())
+    ?(on_fail = fun _ -> ()) () =
+  {
+    sim;
+    config;
+    flow;
+    pool;
+    total = total_segments;
+    close_on_drain;
+    close_requested = false;
+    transmit;
+    on_complete;
+    on_fail;
+    sb = Scoreboard.create ();
+    rto = Rto.create ~min_rto:config.C.min_rto ~max_rto:config.C.max_rto;
+    state = Closed;
+    snd_una = 0;
+    next_seq = 0;
+    cwnd = config.C.init_cwnd;
+    ssthresh = config.C.init_ssthresh;
+    dupacks = 0;
+    inflation = 0;
+    in_recovery = false;
+    recover = -1;
+    backoff = 1;
+    cubic_wmax = nan;
+    cubic_t0 = nan;
+    rtx_timer = None;
+    syn_timer = None;
+    syn_retries = 0;
+    syn_sent_at = 0.0;
+    n_data_sent = 0;
+    n_retx_sent = 0;
+    n_timeouts = 0;
+    n_fast_retransmits = 0;
+    n_syn_sent = 0;
+    max_backoff_seen = 1;
+    transmit_listeners = [];
+    timeout_listeners = [];
+    progress_listeners = [];
+  }
+
+let stats t =
+  {
+    data_sent = t.n_data_sent;
+    retx_sent = t.n_retx_sent;
+    timeouts = t.n_timeouts;
+    fast_retransmits = t.n_fast_retransmits;
+    syn_sent = t.n_syn_sent;
+    max_backoff_seen = t.max_backoff_seen;
+  }
+
+let state t = t.state
+
+let cwnd t = t.cwnd
+
+let ssthresh t = t.ssthresh
+
+let snd_una t = t.snd_una
+
+let next_seq t = t.next_seq
+
+let in_recovery t = t.in_recovery
+
+let backoff t = t.backoff
+
+let rto_estimator t = t.rto
+
+let outstanding t = t.next_seq - t.snd_una
+
+let flow_id t = t.flow
+
+let on_transmit t f = t.transmit_listeners <- f :: t.transmit_listeners
+
+let on_timeout_event t f = t.timeout_listeners <- f :: t.timeout_listeners
+
+let on_progress t f = t.progress_listeners <- f :: t.progress_listeners
+
+let cancel_timer t =
+  Option.iter Sim.cancel t.rtx_timer;
+  t.rtx_timer <- None
+
+let cancel_syn_timer t =
+  Option.iter Sim.cancel t.syn_timer;
+  t.syn_timer <- None
+
+let current_rto t =
+  Float.min t.config.C.max_rto (Rto.timeout t.rto *. float_of_int t.backoff)
+
+let effective_window t = int_of_float t.cwnd + t.inflation
+
+(* RFC 8312 constants. *)
+let cubic_c = 0.4
+
+let cubic_beta = 0.7
+
+(* Multiplicative decrease factor on a loss event. *)
+let decrease_factor t =
+  match t.config.C.growth with C.Aimd -> 0.5 | C.Cubic -> cubic_beta
+
+let note_window_reduction t =
+  match t.config.C.growth with
+  | C.Aimd -> ()
+  | C.Cubic ->
+      t.cubic_wmax <- t.cwnd;
+      t.cubic_t0 <- Sim.now t.sim
+
+(* Congestion-avoidance growth applied once per new cumulative ack. *)
+let grow_congestion_avoidance t =
+  match t.config.C.growth with
+  | C.Aimd -> t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+  | C.Cubic ->
+      if Float.is_nan t.cubic_t0 then
+        (* No loss yet: same additive growth as AIMD. *)
+        t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+      else begin
+        let elapsed = Sim.now t.sim -. t.cubic_t0 in
+        let k =
+          Float.cbrt (t.cubic_wmax *. (1.0 -. cubic_beta) /. cubic_c)
+        in
+        let target =
+          (cubic_c *. ((elapsed -. k) ** 3.0)) +. t.cubic_wmax
+        in
+        let increment =
+          if target > t.cwnd then
+            (* Approach the cubic target, at most one segment per ack
+               (the RFC's growth-rate bound at our ack granularity). *)
+            Float.min 1.0 ((target -. t.cwnd) /. t.cwnd)
+          else
+            (* Plateau region: minimal probing growth. *)
+            0.01 /. t.cwnd
+        in
+        t.cwnd <- t.cwnd +. increment
+      end
+
+(* --- transmission ----------------------------------------------------- *)
+
+let emit t pkt =
+  List.iter (fun f -> f pkt) t.transmit_listeners;
+  t.transmit pkt
+
+let send_segment t ~seq ~retx =
+  let now = Sim.now t.sim in
+  Scoreboard.on_transmit t.sb ~seq ~at:now ~retx;
+  t.n_data_sent <- t.n_data_sent + 1;
+  if retx then t.n_retx_sent <- t.n_retx_sent + 1;
+  let pkt =
+    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Data ~seq
+      ~size:(C.packet_bytes t.config) ~retx ~sent_at:now ()
+  in
+  emit t pkt
+
+let rec on_rtx_timeout t =
+  if t.state = Established && t.snd_una < t.next_seq then begin
+    t.rtx_timer <- None;
+    t.n_timeouts <- t.n_timeouts + 1;
+    let now = Sim.now t.sim in
+    List.iter (fun f -> f now) t.timeout_listeners;
+    let flight = Scoreboard.pipe t.sb + Scoreboard.lost_count t.sb in
+    note_window_reduction t;
+    t.ssthresh <- Float.max 2.0 (float_of_int flight *. decrease_factor t);
+    Scoreboard.mark_all_lost t.sb;
+    t.cwnd <- 1.0;
+    t.inflation <- 0;
+    t.dupacks <- 0;
+    t.in_recovery <- false;
+    t.backoff <- Stdlib.min (t.backoff * 2) t.config.C.max_backoff;
+    if t.backoff > t.max_backoff_seen then t.max_backoff_seen <- t.backoff;
+    try_send t
+  end
+  else t.rtx_timer <- None
+
+and arm_timer t =
+  cancel_timer t;
+  if t.state = Established && t.snd_una < t.next_seq then
+    t.rtx_timer <-
+      Some
+        (Sim.schedule_after t.sim ~delay:(current_rto t) (fun () ->
+             on_rtx_timeout t))
+
+and try_send t =
+  if t.state = Established then begin
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      if Scoreboard.pipe t.sb < effective_window t then begin
+        match Scoreboard.next_lost t.sb with
+        | Some seq ->
+            send_segment t ~seq ~retx:true;
+            progress := true
+        | None ->
+            if
+              t.next_seq < t.total
+              && t.next_seq - t.snd_una < t.config.C.rcv_wnd
+            then begin
+              let seq = t.next_seq in
+              t.next_seq <- t.next_seq + 1;
+              send_segment t ~seq ~retx:false;
+              progress := true
+            end
+      end
+    done;
+    if t.rtx_timer = None then arm_timer t
+  end
+
+(* --- connection establishment ----------------------------------------- *)
+
+let rec send_syn t =
+  t.n_syn_sent <- t.n_syn_sent + 1;
+  t.syn_sent_at <- Sim.now t.sim;
+  let pkt =
+    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn ~seq:0
+      ~size:t.config.C.header_bytes ~sent_at:(Sim.now t.sim) ()
+  in
+  emit t pkt;
+  let delay =
+    if t.config.C.syn_retry_doubling then
+      Float.min t.config.C.max_rto
+        (t.config.C.syn_timeout *. (2.0 ** float_of_int t.syn_retries))
+    else t.config.C.syn_timeout
+  in
+  t.syn_timer <-
+    Some
+      (Sim.schedule_after t.sim ~delay (fun () ->
+           t.syn_timer <- None;
+           if t.state = Syn_sent then begin
+             t.syn_retries <- t.syn_retries + 1;
+             if t.syn_retries > t.config.C.max_syn_retries then begin
+               t.state <- Failed;
+               t.on_fail (Sim.now t.sim)
+             end
+             else send_syn t
+           end))
+
+let complete t =
+  if t.state <> Complete then begin
+    t.state <- Complete;
+    cancel_timer t;
+    cancel_syn_timer t;
+    t.on_complete (Sim.now t.sim)
+  end
+
+let append_data t ~segments =
+  if segments < 0 then invalid_arg "Tcp_sender.append_data: negative";
+  (match t.state with
+  | Complete | Failed -> invalid_arg "Tcp_sender.append_data: connection closed"
+  | Closed | Syn_sent | Established -> ());
+  if segments > 0 then begin
+    t.total <- (if t.total = max_int then max_int else t.total + segments);
+    if t.state = Established then try_send t
+  end
+
+let drained t = t.snd_una >= t.total
+
+let should_close t = drained t && (t.close_on_drain || t.close_requested)
+
+let close t =
+  t.close_requested <- true;
+  match t.state with
+  | Established -> if drained t then complete t
+  | Closed | Syn_sent | Complete | Failed -> ()
+
+let establish t =
+  t.state <- Established;
+  if t.total = 0 && (t.close_on_drain || t.close_requested) then complete t
+  else try_send t
+
+let start t =
+  match t.state with
+  | Closed ->
+      if t.config.C.use_syn then begin
+        t.state <- Syn_sent;
+        send_syn t
+      end
+      else establish t
+  | Syn_sent | Established | Complete | Failed ->
+      invalid_arg "Tcp_sender.start: already started"
+
+(* --- acknowledgement processing --------------------------------------- *)
+
+let apply_sacks t (p : Packet.t) =
+  match t.config.C.variant with
+  | C.Reno | C.Newreno -> ()
+  | C.Sack ->
+      List.iter
+        (fun (lo, hi) ->
+          for seq = lo to hi - 1 do
+            if seq >= p.seq then Scoreboard.mark_sacked t.sb seq
+          done)
+        p.sacks;
+      (* Loss inference: an in-flight segment with >= dupack_thresh
+         sacked segments above it is presumed lost. *)
+      let lost = ref [] in
+      Scoreboard.iter_in_flight t.sb (fun seq ->
+          if Scoreboard.sacked_above t.sb seq >= t.config.C.dupack_thresh then
+            lost := seq :: !lost);
+      List.iter (Scoreboard.mark_lost t.sb) !lost
+
+let enter_recovery t =
+  t.in_recovery <- true;
+  t.recover <- t.next_seq - 1;
+  t.n_fast_retransmits <- t.n_fast_retransmits + 1;
+  let flight = Scoreboard.pipe t.sb + Scoreboard.lost_count t.sb in
+  note_window_reduction t;
+  t.ssthresh <- Float.max 2.0 (float_of_int flight *. decrease_factor t);
+  t.cwnd <- t.ssthresh;
+  (* Reno/NewReno emulate departures with window inflation; a SACK
+     sender must not — the scoreboard already removes sacked segments
+     from the pipe, and doing both compounds into runaway growth. *)
+  (match t.config.C.variant with
+  | C.Reno | C.Newreno -> t.inflation <- t.config.C.dupack_thresh
+  | C.Sack -> t.inflation <- 0);
+  Scoreboard.mark_lost t.sb t.snd_una;
+  try_send t
+
+let handle_new_ack t cum =
+  let newly = cum - t.snd_una in
+  (* Karn: sample RTT only from a never-retransmitted segment; a valid
+     sample also collapses the RTO backoff. *)
+  (match Scoreboard.sent_info t.sb (cum - 1) with
+  | Some (sent_at, false) ->
+      Rto.observe t.rto (Sim.now t.sim -. sent_at);
+      t.backoff <- 1
+  | Some (_, true) | None -> ());
+  Scoreboard.ack_range t.sb ~from_:t.snd_una ~until:cum;
+  t.snd_una <- cum;
+  if t.in_recovery then begin
+    if cum > t.recover then begin
+      (* Full ack: recovery over, deflate to ssthresh. *)
+      t.in_recovery <- false;
+      t.inflation <- 0;
+      t.dupacks <- 0;
+      t.cwnd <- t.ssthresh
+    end
+    else begin
+      (* Partial ack (NewReno): the next unacked segment was lost too.
+         Deflate the dupack inflation by the amount acked minus one so
+         the retransmission goes out without a burst of new data. *)
+      (match t.config.C.variant with
+      | C.Newreno | C.Sack -> Scoreboard.mark_lost t.sb cum
+      | C.Reno -> ());
+      t.inflation <- Stdlib.max 0 (t.inflation - (newly - 1))
+    end
+  end
+  else begin
+    t.dupacks <- 0;
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+    else grow_congestion_avoidance t
+  end;
+  arm_timer t;
+  List.iter (fun f -> f t.snd_una) t.progress_listeners;
+  if should_close t then complete t else try_send t
+
+let handle_dupack t =
+  if t.snd_una < t.next_seq then begin
+    t.dupacks <- t.dupacks + 1;
+    if t.in_recovery then begin
+      (match t.config.C.variant with
+      | C.Reno | C.Newreno -> t.inflation <- t.inflation + 1
+      | C.Sack -> ());
+      try_send t
+    end
+    else begin
+      let sack_triggered =
+        t.config.C.variant = C.Sack
+        && Scoreboard.sacked_above t.sb t.snd_una >= t.config.C.dupack_thresh
+      in
+      if t.dupacks >= t.config.C.dupack_thresh || sack_triggered then
+        enter_recovery t
+      else try_send t
+    end
+  end
+
+let on_ack t (p : Packet.t) =
+  match (t.state, p.kind) with
+  | Syn_sent, Packet.Syn_ack ->
+      cancel_syn_timer t;
+      if t.syn_retries = 0 then begin
+        Rto.observe t.rto (Sim.now t.sim -. t.syn_sent_at);
+        t.backoff <- 1
+      end;
+      establish t
+  | Established, Packet.Ack ->
+      apply_sacks t p;
+      if p.seq > t.snd_una then handle_new_ack t p.seq
+      else if p.seq = t.snd_una then handle_dupack t
+      else () (* stale ack below snd_una *)
+  | (Closed | Complete | Failed), _
+  | Established, (Packet.Syn_ack | Packet.Syn | Packet.Data | Packet.Fin)
+  | Syn_sent, (Packet.Ack | Packet.Syn | Packet.Data | Packet.Fin) ->
+      ()

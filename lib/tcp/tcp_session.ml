@@ -1,0 +1,56 @@
+module Dumbbell = Taq_net.Dumbbell
+module Sim = Taq_engine.Sim
+
+type t = {
+  net : Dumbbell.t;
+  sender : Tcp_sender.t;
+  receiver : Tcp_receiver.t;
+  flow : int;
+  mutable started_at : float;
+}
+
+let flow_counter = ref 0
+
+let next_flow_id () =
+  incr flow_counter;
+  !flow_counter
+
+let reset_flow_ids () = flow_counter := 0
+
+let create ~net ~config ?flow ?(pool = -1) ~rtt_prop ~total_segments
+    ?(close_on_drain = true) ?(on_complete = fun _ -> ())
+    ?(on_fail = fun _ -> ()) ?(unregister_on_complete = true) () =
+  let flow = match flow with Some f -> f | None -> next_flow_id () in
+  let sim = Dumbbell.sim net in
+  let now () = Sim.now sim in
+  let receiver =
+    Tcp_receiver.create ~flow ~pool ~config ~now
+      ~send:(fun p -> Dumbbell.send_rev net p)
+      ~schedule:(fun ~delay f -> ignore (Sim.schedule_after sim ~delay f))
+      ()
+  in
+  let finish kont time =
+    if unregister_on_complete then Dumbbell.unregister_flow net ~flow;
+    kont time
+  in
+  let sender =
+    Tcp_sender.create ~sim ~config ~flow ~pool ~total_segments ~close_on_drain
+      ~transmit:(fun p -> Dumbbell.send_fwd net p)
+      ~on_complete:(finish on_complete) ~on_fail:(finish on_fail) ()
+  in
+  Dumbbell.register_flow net ~flow ~rtt_prop
+    ~deliver_fwd:(fun p -> Tcp_receiver.on_packet receiver p)
+    ~deliver_rev:(fun p -> Tcp_sender.on_ack sender p);
+  { net; sender; receiver; flow; started_at = nan }
+
+let start t =
+  t.started_at <- Sim.now (Dumbbell.sim t.net);
+  Tcp_sender.start t.sender
+
+let sender t = t.sender
+
+let receiver t = t.receiver
+
+let flow_id t = t.flow
+
+let started_at t = t.started_at

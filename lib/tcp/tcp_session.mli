@@ -1,0 +1,41 @@
+(** A TCP connection wired over a {!Taq_net.Dumbbell} network: sender
+    on the access side, receiver behind the bottleneck, acks on the
+    uncongested return path. This is the unit every experiment
+    composes. *)
+
+type t
+
+val next_flow_id : unit -> int
+(** Process-wide flow-id allocator (reset with {!reset_flow_ids}). *)
+
+val reset_flow_ids : unit -> unit
+
+val create :
+  net:Taq_net.Dumbbell.t ->
+  config:Tcp_config.t ->
+  ?flow:int ->
+  ?pool:int ->
+  rtt_prop:float ->
+  total_segments:int ->
+  ?close_on_drain:bool ->
+  ?on_complete:(float -> unit) ->
+  ?on_fail:(float -> unit) ->
+  ?unregister_on_complete:bool ->
+  unit ->
+  t
+(** Registers the flow with the network. [on_complete] receives the
+    completion time; when [unregister_on_complete] (default true) the
+    flow is removed from the network afterwards so stray packets
+    evaporate. [close_on_drain = false] keeps the connection open for
+    {!Tcp_sender.append_data} (persistent HTTP-style connections). *)
+
+val start : t -> unit
+
+val sender : t -> Tcp_sender.t
+
+val receiver : t -> Tcp_receiver.t
+
+val flow_id : t -> int
+
+val started_at : t -> float
+(** Time {!start} was called ([nan] before). *)

@@ -1,0 +1,20 @@
+type t = { alpha : float; mutable value : float; mutable initialized : bool }
+
+let create ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Ewma.create: alpha";
+  { alpha; value = nan; initialized = false }
+
+let update t x =
+  if t.initialized then t.value <- ((1.0 -. t.alpha) *. t.value) +. (t.alpha *. x)
+  else begin
+    t.value <- x;
+    t.initialized <- true
+  end
+
+let value t = t.value
+
+let is_initialized t = t.initialized
+
+let reset t =
+  t.value <- nan;
+  t.initialized <- false

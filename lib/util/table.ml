@@ -1,0 +1,41 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let cell_float x = Printf.sprintf "%.6g" x
+
+let addf t xs = add_row t (List.map cell_float xs)
+
+let widths t =
+  let update acc cells =
+    List.map2 (fun w c -> Stdlib.max w (String.length c)) acc cells
+  in
+  List.fold_left update
+    (List.map String.length t.columns)
+    (List.rev t.rows)
+
+let render_row widths cells =
+  let pad w c = c ^ String.make (w - String.length c) ' ' in
+  String.concat "  " (List.map2 pad widths cells)
+
+let to_string t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row ws t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row ws row);
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print ?(oc = stdout) t = output_string oc (to_string t)

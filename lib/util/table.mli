@@ -1,0 +1,24 @@
+(** Plain-text column-aligned tables for experiment output.
+
+    Every bench target prints its figure's data through this module so
+    the output is uniform and diff-able. *)
+
+type t
+
+val create : columns:string list -> t
+(** A table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val addf : t -> float list -> unit
+(** Append a row of floats formatted with [%.6g]. *)
+
+val print : ?oc:out_channel -> t -> unit
+(** Render with column alignment, header underline, to [oc] (default
+    stdout). *)
+
+val to_string : t -> string
+
+val cell_float : float -> string
+(** The float formatting used by {!addf}, exposed for mixed rows. *)

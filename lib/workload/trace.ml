@@ -1,0 +1,99 @@
+type record = { time : float; client : int; size : int }
+
+type t = record array
+
+type params = {
+  clients : int;
+  duration : float;
+  mean_think : float;
+  objects_per_page_max : int;
+  size_params : Object_size.params;
+}
+
+(* Calibrated so the full trace matches the paper's observation window:
+   221 clients over 2 hours downloading on the order of 1.5 GB. *)
+let default_params =
+  {
+    clients = 221;
+    duration = 7200.0;
+    mean_think = 240.0;
+    objects_per_page_max = 8;
+    size_params = Object_size.default;
+  }
+
+let generate ?(params = default_params) ~seed () =
+  let root = Taq_util.Prng.create ~seed in
+  let records = ref [] in
+  for client = 0 to params.clients - 1 do
+    let prng = Taq_util.Prng.split root in
+    (* Each client alternates think time and a page load that bursts a
+       handful of objects over the following seconds. *)
+    let t = ref (Taq_util.Prng.exponential prng ~mean:params.mean_think) in
+    while !t < params.duration do
+      let objects = 1 + Taq_util.Prng.int prng params.objects_per_page_max in
+      for _ = 1 to objects do
+        let jitter = Taq_util.Prng.float prng 2.0 in
+        let time = !t +. jitter in
+        if time < params.duration then
+          records :=
+            {
+              time;
+              client;
+              size = Object_size.sample ~params:params.size_params prng;
+            }
+            :: !records
+      done;
+      t := !t +. Taq_util.Prng.exponential prng ~mean:params.mean_think
+    done
+  done;
+  let arr = Array.of_list !records in
+  Array.sort (fun a b -> compare a.time b.time) arr;
+  arr
+
+let total_bytes t = Array.fold_left (fun acc r -> acc + r.size) 0 t
+
+let client_ids t =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun r -> Hashtbl.replace seen r.client ()) t;
+  let ids = Hashtbl.fold (fun c () acc -> c :: acc) seen [] in
+  Array.of_list (List.sort compare ids)
+
+let duration t = if Array.length t = 0 then 0.0 else t.(Array.length t - 1).time
+
+let save_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "time,client,size\n";
+      Array.iter
+        (fun r -> Printf.fprintf oc "%.6f,%d,%d\n" r.time r.client r.size)
+        t)
+
+let load_csv ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let records = ref [] in
+      (try
+         let header = input_line ic in
+         if header <> "time,client,size" then
+           failwith "Trace.load_csv: bad header";
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ',' line with
+           | [ time; client; size ] ->
+               records :=
+                 {
+                   time = float_of_string time;
+                   client = int_of_string client;
+                   size = int_of_string size;
+                 }
+                 :: !records
+           | _ -> failwith ("Trace.load_csv: bad line: " ^ line)
+         done
+       with End_of_file -> ());
+      let arr = Array.of_list !records in
+      Array.sort (fun a b -> compare a.time b.time) arr;
+      arr)

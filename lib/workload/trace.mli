@@ -1,0 +1,40 @@
+(** Synthetic web-proxy access traces.
+
+    Substitutes for the paper's Kerala/Ghana proxy logs (which are not
+    public): a deterministic generator producing the same {e kind} of
+    workload the paper describes for Figure 1 — a couple of hundred
+    clients behind one access link over a 2-hour window, ~1.5 GB of
+    objects whose sizes span 100 B to 100 MB. The experiments consume
+    only [(time, client, size)] tuples, so this is a faithful stand-in
+    for the claims being reproduced (spread of download times, not
+    absolute values). *)
+
+type record = { time : float; client : int; size : int }
+
+type t = record array
+(** Sorted by time. *)
+
+type params = {
+  clients : int;
+  duration : float;  (** seconds *)
+  mean_think : float;  (** mean pause between a client's page loads *)
+  objects_per_page_max : int;  (** pages fetch 1..this many objects *)
+  size_params : Object_size.params;
+}
+
+val default_params : params
+(** 221 clients, 2 h, like the paper's observation window. *)
+
+val generate : ?params:params -> seed:int -> unit -> t
+
+val total_bytes : t -> int
+
+val client_ids : t -> int array
+
+val duration : t -> float
+
+val save_csv : t -> path:string -> unit
+(** [time,client,size] per line, with a header. *)
+
+val load_csv : path:string -> t
+(** Raises [Failure] on malformed input. *)

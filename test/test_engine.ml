@@ -1,0 +1,254 @@
+(* Tests for the discrete-event engine: heap ordering, FIFO tie-break,
+   scheduling, cancellation, run-until semantics. *)
+
+open Taq_engine
+
+(* --- Event_heap ------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter
+    (fun t -> Event_heap.push h ~time:t t)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  for i = 0 to 9 do
+    Event_heap.push h ~time:1.0 i
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int))
+    "insertion order preserved on ties"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !order)
+
+let test_heap_empty () =
+  let h = Event_heap.create () in
+  Alcotest.(check bool) "empty" true (Event_heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Event_heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Event_heap.peek_time h = None)
+
+let test_heap_interleaved () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:2.0 "b";
+  Event_heap.push h ~time:1.0 "a";
+  (match Event_heap.pop h with
+  | Some (_, "a") -> ()
+  | _ -> Alcotest.fail "expected a");
+  Event_heap.push h ~time:0.5 "c";
+  (match Event_heap.pop h with
+  | Some (_, "c") -> ()
+  | _ -> Alcotest.fail "expected c");
+  Alcotest.(check int) "one left" 1 (Event_heap.size h)
+
+let test_heap_large_random () =
+  let prng = Taq_util.Prng.create ~seed:77 in
+  let h = Event_heap.create () in
+  let n = 10_000 in
+  for _ = 1 to n do
+    Event_heap.push h ~time:(Taq_util.Prng.float prng 1000.0) ()
+  done;
+  let last = ref neg_infinity in
+  let rec drain count =
+    match Event_heap.pop h with
+    | None -> count
+    | Some (t, ()) ->
+        if t < !last then Alcotest.failf "heap disorder: %g after %g" t !last;
+        last := t;
+        drain (count + 1)
+  in
+  Alcotest.(check int) "all drained" n (drain 0)
+
+(* --- Sim -------------------------------------------------------------- *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:2.0 (fun () -> log := 2 :: !log));
+  ignore (Sim.schedule sim ~at:1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~at:3.0 (fun () -> log := 3 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "in time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sim_clock_advances () =
+  let sim = Sim.create () in
+  let observed = ref nan in
+  ignore (Sim.schedule sim ~at:1.5 (fun () -> observed := Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check (float 1e-12)) "clock at event time" 1.5 !observed
+
+let test_sim_schedule_after () =
+  let sim = Sim.create () in
+  let observed = ref nan in
+  ignore
+    (Sim.schedule sim ~at:1.0 (fun () ->
+         ignore
+           (Sim.schedule_after sim ~delay:0.5 (fun () -> observed := Sim.now sim))));
+  Sim.run sim;
+  Alcotest.(check (float 1e-12)) "relative delay" 1.5 !observed
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:5.0 (fun () -> ()));
+  Sim.run sim;
+  match Sim.schedule sim ~at:1.0 (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "scheduling in the past should raise"
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~at:1.0 (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Sim.is_pending h);
+  Sim.cancel h;
+  Sim.run sim;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check bool) "not pending" false (Sim.is_pending h)
+
+let test_sim_cancel_from_event () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~at:2.0 (fun () -> fired := true) in
+  ignore (Sim.schedule sim ~at:1.0 (fun () -> Sim.cancel h));
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled by earlier event" false !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~at:(float_of_int i) (fun () -> incr count))
+  done;
+  Sim.run ~until:5.5 sim;
+  Alcotest.(check int) "only events <= until" 5 !count;
+  Alcotest.(check (float 1e-12)) "clock parked at until" 5.5 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "rest run afterwards" 10 !count
+
+let test_sim_until_boundary_inclusive () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule sim ~at:2.0 (fun () -> fired := true));
+  Sim.run ~until:2.0 sim;
+  Alcotest.(check bool) "event exactly at until runs" true !fired
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~at:2.0 (fun () -> log := 2 :: !log));
+  Alcotest.(check bool) "step 1" true (Sim.step sim);
+  Alcotest.(check (list int)) "only first" [ 1 ] !log;
+  Alcotest.(check bool) "step 2" true (Sim.step sim);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim)
+
+let test_sim_cascading_events () =
+  (* An event chain that reschedules itself a fixed number of times. *)
+  let sim = Sim.create () in
+  let hops = ref 0 in
+  let rec hop () =
+    incr hops;
+    if !hops < 100 then ignore (Sim.schedule_after sim ~delay:0.1 hop)
+  in
+  ignore (Sim.schedule sim ~at:0.0 hop);
+  Sim.run sim;
+  Alcotest.(check int) "all hops" 100 !hops;
+  Alcotest.(check (float 1e-6)) "time accumulated" 9.9 (Sim.now sim)
+
+let test_sim_same_time_event_scheduled_during_event () =
+  (* An event scheduling another event at the same timestamp must run it
+     in the same run (after the current one). *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~at:1.0 (fun () ->
+         log := "first" :: !log;
+         ignore (Sim.schedule sim ~at:1.0 (fun () -> log := "second" :: !log))));
+  Sim.run sim;
+  Alcotest.(check (list string)) "both ran" [ "first"; "second" ] (List.rev !log)
+
+
+let prop_cancelled_events_never_fire =
+  (* Random schedules with random cancellations: a cancelled event must
+     never run, everything else must run exactly once, in time order. *)
+  QCheck.Test.make ~name:"cancelled events never fire" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (pair (float_range 0.0 100.0) bool))
+    (fun plan ->
+      let sim = Sim.create () in
+      let fired = Array.make (List.length plan) 0 in
+      let handles =
+        List.mapi
+          (fun i (at, _) ->
+            Sim.schedule sim ~at (fun () -> fired.(i) <- fired.(i) + 1))
+          plan
+      in
+      List.iteri
+        (fun i (_, cancel) -> if cancel then Sim.cancel (List.nth handles i))
+        plan;
+      Sim.run sim;
+      List.for_all2
+        (fun (_, cancelled) count -> count = (if cancelled then 0 else 1))
+        plan (Array.to_list fired))
+
+let prop_heap_drains_sorted =
+  QCheck.Test.make ~name:"heap always drains sorted" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range 0.0 1e6))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> Event_heap.push h ~time:t ()) times;
+      let rec drain last ok =
+        match Event_heap.pop h with
+        | None -> ok
+        | Some (t, ()) -> drain t (ok && t >= last)
+      in
+      drain neg_infinity true)
+
+let () =
+  Alcotest.run "taq_engine"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "large random" `Quick test_heap_large_random;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "clock advances" `Quick test_sim_clock_advances;
+          Alcotest.test_case "schedule after" `Quick test_sim_schedule_after;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "cancel from event" `Quick test_sim_cancel_from_event;
+          Alcotest.test_case "run until" `Quick test_sim_run_until;
+          Alcotest.test_case "until inclusive" `Quick test_sim_until_boundary_inclusive;
+          Alcotest.test_case "step" `Quick test_sim_step;
+          Alcotest.test_case "cascading" `Quick test_sim_cascading_events;
+          Alcotest.test_case "same-time from event" `Quick
+            test_sim_same_time_event_scheduled_during_event;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_heap_drains_sorted; prop_cancelled_events_never_fire ] );
+    ]

@@ -1,0 +1,458 @@
+(* Tests for taq_metrics: slicing, fairness aggregation, flow-evolution
+   classification, hang detection, CDFs, occupancy sampling and the
+   loss monitor. *)
+
+module Slicer = Taq_metrics.Slicer
+module Flow_evolution = Taq_metrics.Flow_evolution
+module Hangs = Taq_metrics.Hangs
+module Cdf = Taq_metrics.Cdf
+module Occupancy = Taq_metrics.Occupancy
+module Loss_monitor = Taq_metrics.Loss_monitor
+module Sim = Taq_engine.Sim
+module Packet = Taq_net.Packet
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Slicer ---------------------------------------------------------------- *)
+
+let test_slicer_bins_by_time () =
+  let s = Slicer.create ~slice:10.0 in
+  Slicer.record s ~flow:1 ~time:5.0 ~bytes:100;
+  Slicer.record s ~flow:1 ~time:15.0 ~bytes:200;
+  Slicer.record s ~flow:1 ~time:19.9 ~bytes:50;
+  Alcotest.(check int) "slice 0" 100 (Slicer.bytes_in_slice s ~slice:0 ~flow:1);
+  Alcotest.(check int) "slice 1" 250 (Slicer.bytes_in_slice s ~slice:1 ~flow:1);
+  Alcotest.(check int) "total" 350 (Slicer.flow_total s ~flow:1);
+  Alcotest.(check int) "count" 2 (Slicer.slice_count s)
+
+let test_slicer_jain_per_slice () =
+  let s = Slicer.create ~slice:10.0 in
+  (* Slice 0: equal; slice 1: one hog. *)
+  Slicer.record s ~flow:1 ~time:1.0 ~bytes:100;
+  Slicer.record s ~flow:2 ~time:2.0 ~bytes:100;
+  Slicer.record s ~flow:1 ~time:11.0 ~bytes:100;
+  let j = Slicer.jain_per_slice s ~flows:[| 1; 2 |] in
+  checkf "slice 0 fair" 1.0 j.(0);
+  checkf "slice 1 hog" 0.5 j.(1)
+
+let test_slicer_long_vs_short_term () =
+  (* Alternating hogs: short-term unfair, long-term fair — the core
+     phenomenon of Figure 2. *)
+  let s = Slicer.create ~slice:10.0 in
+  for slice = 0 to 9 do
+    let flow = (slice mod 2) + 1 in
+    Slicer.record s ~flow ~time:(float_of_int slice *. 10.0) ~bytes:100
+  done;
+  let flows = [| 1; 2 |] in
+  checkf "short term 0.5" 0.5 (Slicer.mean_jain s ~flows ());
+  checkf "long term 1.0" 1.0 (Slicer.long_term_jain s ~flows)
+
+let test_slicer_silent_fraction () =
+  let s = Slicer.create ~slice:10.0 in
+  Slicer.record s ~flow:1 ~time:1.0 ~bytes:10;
+  checkf "2 of 3 silent" (2.0 /. 3.0)
+    (Slicer.silent_fraction s ~flows:[| 1; 2; 3 |] ~slice:0)
+
+let test_slicer_top_share () =
+  let s = Slicer.create ~slice:10.0 in
+  Slicer.record s ~flow:1 ~time:1.0 ~bytes:80;
+  Slicer.record s ~flow:2 ~time:1.0 ~bytes:10;
+  Slicer.record s ~flow:3 ~time:1.0 ~bytes:10;
+  (* Top 40% of 3 flows = top 2 flows = 90 of 100 bytes. *)
+  checkf "top share" 0.9
+    (Slicer.top_share s ~flows:[| 1; 2; 3 |] ~slice:0 ~top_fraction:0.4)
+
+let test_slicer_mean_jain_skips_empty () =
+  let s = Slicer.create ~slice:10.0 in
+  Slicer.record s ~flow:1 ~time:1.0 ~bytes:10;
+  Slicer.record s ~flow:2 ~time:1.0 ~bytes:10;
+  (* Slice 1 empty, slice 2 active. *)
+  Slicer.record s ~flow:1 ~time:25.0 ~bytes:10;
+  Slicer.record s ~flow:2 ~time:25.0 ~bytes:10;
+  checkf "empty slices skipped" 1.0 (Slicer.mean_jain s ~flows:[| 1; 2 |] ())
+
+(* --- Flow_evolution ----------------------------------------------------------- *)
+
+let test_evolution_classify () =
+  Alcotest.(check bool) "maintained" true
+    (Flow_evolution.classify ~active_prev:true ~active_cur:true
+    = Flow_evolution.Maintained);
+  Alcotest.(check bool) "dropped" true
+    (Flow_evolution.classify ~active_prev:true ~active_cur:false
+    = Flow_evolution.Dropped);
+  Alcotest.(check bool) "arriving" true
+    (Flow_evolution.classify ~active_prev:false ~active_cur:true
+    = Flow_evolution.Arriving);
+  Alcotest.(check bool) "stalled" true
+    (Flow_evolution.classify ~active_prev:false ~active_cur:false
+    = Flow_evolution.Stalled)
+
+let test_evolution_series () =
+  let t = Flow_evolution.create ~window:10.0 in
+  Flow_evolution.note_start t ~flow:1 ~time:0.0;
+  Flow_evolution.note_start t ~flow:2 ~time:0.0;
+  (* Flow 1 active in windows 0,1,2; flow 2 active only in window 0. *)
+  Flow_evolution.note_activity t ~flow:1 ~time:5.0;
+  Flow_evolution.note_activity t ~flow:2 ~time:5.0;
+  Flow_evolution.note_activity t ~flow:1 ~time:15.0;
+  Flow_evolution.note_activity t ~flow:1 ~time:25.0;
+  let s = Flow_evolution.series t ~until:29.0 in
+  (* Window 1: flow 1 maintained, flow 2 dropped. *)
+  Alcotest.(check int) "w1 maintained" 1 s.Flow_evolution.maintained.(1);
+  Alcotest.(check int) "w1 dropped" 1 s.Flow_evolution.dropped.(1);
+  (* Window 2: flow 1 maintained, flow 2 stalled. *)
+  Alcotest.(check int) "w2 stalled" 1 s.Flow_evolution.stalled.(2);
+  Alcotest.(check int) "w2 live" 2 s.Flow_evolution.live.(2)
+
+let test_evolution_arrival_after_silence () =
+  let t = Flow_evolution.create ~window:10.0 in
+  Flow_evolution.note_start t ~flow:1 ~time:0.0;
+  Flow_evolution.note_activity t ~flow:1 ~time:5.0;
+  (* Silent in window 1, active again in window 2. *)
+  Flow_evolution.note_activity t ~flow:1 ~time:25.0;
+  let s = Flow_evolution.series t ~until:29.0 in
+  Alcotest.(check int) "w2 arriving" 1 s.Flow_evolution.arriving.(2)
+
+let test_evolution_finished_flows_leave () =
+  let t = Flow_evolution.create ~window:10.0 in
+  Flow_evolution.note_start t ~flow:1 ~time:0.0;
+  Flow_evolution.note_activity t ~flow:1 ~time:5.0;
+  Flow_evolution.note_finish t ~flow:1 ~time:9.0;
+  let s = Flow_evolution.series t ~until:25.0 in
+  Alcotest.(check int) "not live in w2" 0 s.Flow_evolution.live.(2)
+
+let test_evolution_fractions () =
+  let t = Flow_evolution.create ~window:10.0 in
+  Flow_evolution.note_start t ~flow:1 ~time:0.0;
+  for w = 0 to 4 do
+    Flow_evolution.note_activity t ~flow:1 ~time:((float_of_int w *. 10.0) +. 1.0)
+  done;
+  let s = Flow_evolution.series t ~until:49.0 in
+  checkf "always maintained" 1.0 (Flow_evolution.maintained_fraction s);
+  checkf "never stalled" 0.0 (Flow_evolution.stalled_fraction s)
+
+(* --- Hangs ----------------------------------------------------------------------- *)
+
+let test_hangs_gaps () =
+  let h = Hangs.create () in
+  Hangs.note_session_start h ~pool:1 ~time:0.0;
+  Hangs.note_data h ~pool:1 ~time:5.0;
+  Hangs.note_data h ~pool:1 ~time:6.0;
+  Hangs.note_data h ~pool:1 ~time:30.0;
+  let g = Hangs.gaps h ~pool:1 ~until:30.0 in
+  Alcotest.(check int) "three gaps" 3 (Array.length g);
+  checkf "max hang" 24.0 (Hangs.max_hang h ~pool:1 ~until:30.0)
+
+let test_hangs_trailing_gap_counts () =
+  let h = Hangs.create () in
+  Hangs.note_session_start h ~pool:1 ~time:0.0;
+  Hangs.note_data h ~pool:1 ~time:1.0;
+  (* Nothing since t=1; at until=61 the open 60 s hang counts. *)
+  checkf "trailing hang" 60.0 (Hangs.max_hang h ~pool:1 ~until:61.0)
+
+let test_hangs_fraction () =
+  let h = Hangs.create () in
+  Hangs.note_session_start h ~pool:1 ~time:0.0;
+  Hangs.note_session_start h ~pool:2 ~time:0.0;
+  (* Pool 1 hangs 30 s once; pool 2 stays busy. *)
+  Hangs.note_data h ~pool:1 ~time:30.0;
+  for i = 1 to 30 do
+    Hangs.note_data h ~pool:2 ~time:(float_of_int i)
+  done;
+  checkf "half the pools" 0.5
+    (Hangs.fraction_with_hang h ~pools:[| 1; 2 |] ~min_hang:20.0 ~until:30.0)
+
+let test_hangs_session_end_closes () =
+  let h = Hangs.create () in
+  Hangs.note_session_start h ~pool:1 ~time:0.0;
+  Hangs.note_data h ~pool:1 ~time:1.0;
+  Hangs.note_session_end h ~pool:1 ~time:10.0;
+  (* After the session ended, later "until" must not extend the gap. *)
+  checkf "gap frozen at end" 9.0 (Hangs.max_hang h ~pool:1 ~until:100.0)
+
+(* --- Cdf --------------------------------------------------------------------------- *)
+
+let test_cdf_quantiles () =
+  let c = Cdf.of_samples [| 5.; 1.; 3.; 2.; 4. |] in
+  checkf "median" 3.0 (Cdf.quantile c 0.5);
+  checkf "min" 1.0 (Cdf.quantile c 0.0);
+  checkf "max" 5.0 (Cdf.quantile c 1.0)
+
+let test_cdf_at () =
+  let c = Cdf.of_samples [| 1.; 2.; 3.; 4. |] in
+  checkf "below all" 0.0 (Cdf.at c 0.5);
+  checkf "half" 0.5 (Cdf.at c 2.0);
+  checkf "interior" 0.5 (Cdf.at c 2.5);
+  checkf "all" 1.0 (Cdf.at c 10.0)
+
+let test_cdf_points_monotone () =
+  let prng = Taq_util.Prng.create ~seed:8 in
+  let c = Cdf.of_samples (Array.init 100 (fun _ -> Taq_util.Prng.float prng 50.0)) in
+  let pts = Cdf.points ~steps:10 c in
+  let rec check = function
+    | (v1, p1) :: ((v2, p2) :: _ as rest) ->
+        Alcotest.(check bool) "values monotone" true (v1 <= v2);
+        Alcotest.(check bool) "percentiles monotone" true (p1 <= p2);
+        check rest
+    | _ -> ()
+  in
+  check pts
+
+let test_cdf_empty_rejected () =
+  match Cdf.of_samples [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty must raise"
+
+(* --- Occupancy ---------------------------------------------------------------------- *)
+
+let test_occupancy_counts_epochs () =
+  (* A sender on a clean fast link with a 0.1 s RTT, sampled on 0.1 s
+     epochs, mostly occupies the high sent-classes. *)
+  let sim = Sim.create () in
+  let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
+  let net = Taq_net.Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
+  Taq_tcp.Tcp_session.reset_flow_ids ();
+  let config = Taq_tcp.Tcp_config.make ~use_syn:false () in
+  let session =
+    Taq_tcp.Tcp_session.create ~net ~config ~rtt_prop:0.1
+      ~total_segments:max_int ()
+  in
+  let occ = Occupancy.create ~sim ~epoch:0.1 ~wmax:6 () in
+  Occupancy.attach occ (Taq_tcp.Tcp_session.sender session);
+  Taq_tcp.Tcp_session.start session;
+  Sim.run ~until:20.0 sim;
+  Alcotest.(check bool) "sampled epochs" true (Occupancy.observations occ > 100);
+  let d = Occupancy.distribution occ in
+  let sum = Array.fold_left ( +. ) 0.0 d in
+  checkf "distribution sums to 1" 1.0 sum;
+  Alcotest.(check bool) "clean flow lives in the top class" true (d.(6) > 0.5)
+
+let test_occupancy_empty () =
+  let sim = Sim.create () in
+  let occ = Occupancy.create ~sim ~epoch:0.1 ~wmax:6 () in
+  Alcotest.(check int) "no observations" 0 (Occupancy.observations occ);
+  let d = Occupancy.distribution occ in
+  checkf "all zero" 0.0 (Array.fold_left ( +. ) 0.0 d)
+
+(* --- Loss_monitor ------------------------------------------------------------------- *)
+
+let test_loss_monitor_rates () =
+  let sim = Sim.create () in
+  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
+  let link =
+    Taq_net.Link.create ~sim ~capacity_bps:1e3 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> ())
+  in
+  let lm = Loss_monitor.attach link in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         (* First starts transmitting, second queues, next two drop. *)
+         for seq = 1 to 4 do
+           Taq_net.Link.send link
+             (Packet.make ~flow:1 ~kind:Packet.Data ~seq ~size:100 ~sent_at:0.0 ())
+         done));
+  Sim.run ~until:0.1 sim;
+  (* Packet 1 is accepted and immediately begins transmission, packet 2
+     fills the 1-slot queue, packets 3 and 4 drop. *)
+  Alcotest.(check int) "drops" 2 (Loss_monitor.drops lm);
+  checkf "overall rate" 0.5 (Loss_monitor.overall_rate lm)
+
+let test_loss_monitor_ignores_control () =
+  let sim = Sim.create () in
+  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:0 () in
+  let link =
+    Taq_net.Link.create ~sim ~capacity_bps:1e3 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> ())
+  in
+  let lm = Loss_monitor.attach link in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         Taq_net.Link.send link
+           (Packet.make ~flow:1 ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ())));
+  Sim.run ~until:0.1 sim;
+  Alcotest.(check int) "syn drop not counted" 0 (Loss_monitor.drops lm)
+
+
+(* --- Packet_log -------------------------------------------------------------- *)
+
+module Packet_log = Taq_metrics.Packet_log
+
+let packet_log_fixture () =
+  let sim = Sim.create () in
+  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:2 () in
+  let link =
+    Taq_net.Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> ())
+  in
+  let log = Packet_log.attach ~now:(fun () -> Sim.now sim) link in
+  (sim, link, log)
+
+let test_packet_log_records_lifecycle () =
+  let sim, link, log = packet_log_fixture () in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         (* #1 starts transmitting immediately, #2/#3 fill the 2-slot
+            queue, #4 drops. *)
+         for seq = 1 to 4 do
+           Taq_net.Link.send link
+             (Packet.make ~flow:1 ~kind:Packet.Data ~seq ~size:500
+                ~sent_at:0.0 ())
+         done));
+  Sim.run sim;
+  let evs = Packet_log.events log in
+  let kinds k = List.length (List.filter (fun e -> e.Packet_log.kind = k) evs) in
+  Alcotest.(check int) "enqueues" 3 (kinds Packet_log.Enqueued);
+  Alcotest.(check int) "drops" 1 (kinds Packet_log.Dropped);
+  Alcotest.(check int) "deliveries" 3 (kinds Packet_log.Delivered);
+  (* Chronological order. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "ordered" true
+          (a.Packet_log.time <= b.Packet_log.time);
+        monotone rest
+    | _ -> ()
+  in
+  monotone evs
+
+let test_packet_log_silence_gaps () =
+  let sim, link, log = packet_log_fixture () in
+  (* Two deliveries 10 s apart. *)
+  List.iter
+    (fun at ->
+      ignore
+        (Sim.schedule sim ~at (fun () ->
+             Taq_net.Link.send link
+               (Packet.make ~flow:7 ~kind:Packet.Data ~seq:1 ~size:500
+                  ~sent_at:at ()))))
+    [ 0.0; 10.0 ];
+  Sim.run sim;
+  (match Packet_log.silence_gaps log ~flow:7 ~min_gap:5.0 with
+  | [ (a, b) ] ->
+      Alcotest.(check bool) "gap spans the silence" true (b -. a > 9.0)
+  | l -> Alcotest.failf "expected one gap, got %d" (List.length l));
+  Alcotest.(check (list (pair (float 0.1) (float 0.1))))
+    "no gap at larger threshold" []
+    (Packet_log.silence_gaps log ~flow:7 ~min_gap:60.0)
+
+let test_packet_log_shut_down_fraction () =
+  let sim, link, log = packet_log_fixture () in
+  (* Flow 1 active in both 10 s windows, flow 2 only in the first. *)
+  List.iter
+    (fun (at, flow) ->
+      ignore
+        (Sim.schedule sim ~at (fun () ->
+             Taq_net.Link.send link
+               (Packet.make ~flow ~kind:Packet.Data ~seq:1 ~size:500
+                  ~sent_at:at ()))))
+    [ (1.0, 1); (1.5, 2); (11.0, 1) ];
+  Sim.run sim;
+  let frac = Packet_log.shut_down_fraction log ~slice:10.0 ~until:15.0 in
+  Alcotest.(check (float 1e-9)) "window 0: none silent" 0.0 frac.(0);
+  Alcotest.(check (float 1e-9)) "window 1: half silent" 0.5 frac.(1)
+
+let test_packet_log_capacity_bound () =
+  let sim, link, log0 = packet_log_fixture () in
+  ignore (sim, link, log0);
+  let sim = Sim.create () in
+  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1000 () in
+  let link =
+    Taq_net.Link.create ~sim ~capacity_bps:1e9 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> ())
+  in
+  let log = Packet_log.attach ~capacity:10 ~now:(fun () -> Sim.now sim) link in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         for seq = 1 to 50 do
+           Taq_net.Link.send link
+             (Packet.make ~flow:1 ~kind:Packet.Data ~seq ~size:100 ~sent_at:0.0 ())
+         done));
+  Sim.run sim;
+  Alcotest.(check int) "bounded" 10 (Packet_log.count log);
+  Alcotest.(check bool) "discards counted" true (Packet_log.dropped_events log > 0)
+
+let test_packet_log_csv () =
+  let sim, link, log = packet_log_fixture () in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         Taq_net.Link.send link
+           (Packet.make ~flow:1 ~kind:Packet.Data ~seq:1 ~size:500 ~sent_at:0.0 ())));
+  Sim.run sim;
+  let path = Filename.temp_file "taq_pktlog" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Packet_log.save_csv log ~path;
+      let ic = open_in path in
+      let header = input_line ic in
+      let first = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "header" "time,event,packet_kind,flow,seq,size" header;
+      Alcotest.(check bool) "row mentions enqueue" true
+        (String.length first > 0))
+
+let prop_cdf_quantile_in_range =
+  QCheck.Test.make ~name:"cdf quantiles stay within sample range" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (float_range 0.0 1000.0))
+        (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let c = Cdf.of_samples (Array.of_list xs) in
+      let v = Cdf.quantile c q in
+      v >= Cdf.min c && v <= Cdf.max c)
+
+let () =
+  Alcotest.run "taq_metrics"
+    [
+      ( "slicer",
+        [
+          Alcotest.test_case "bins" `Quick test_slicer_bins_by_time;
+          Alcotest.test_case "jain per slice" `Quick test_slicer_jain_per_slice;
+          Alcotest.test_case "long vs short" `Quick test_slicer_long_vs_short_term;
+          Alcotest.test_case "silent fraction" `Quick test_slicer_silent_fraction;
+          Alcotest.test_case "top share" `Quick test_slicer_top_share;
+          Alcotest.test_case "skips empty" `Quick test_slicer_mean_jain_skips_empty;
+        ] );
+      ( "flow_evolution",
+        [
+          Alcotest.test_case "classify" `Quick test_evolution_classify;
+          Alcotest.test_case "series" `Quick test_evolution_series;
+          Alcotest.test_case "arrival" `Quick test_evolution_arrival_after_silence;
+          Alcotest.test_case "finish" `Quick test_evolution_finished_flows_leave;
+          Alcotest.test_case "fractions" `Quick test_evolution_fractions;
+        ] );
+      ( "hangs",
+        [
+          Alcotest.test_case "gaps" `Quick test_hangs_gaps;
+          Alcotest.test_case "trailing" `Quick test_hangs_trailing_gap_counts;
+          Alcotest.test_case "fraction" `Quick test_hangs_fraction;
+          Alcotest.test_case "session end" `Quick test_hangs_session_end_closes;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "quantiles" `Quick test_cdf_quantiles;
+          Alcotest.test_case "at" `Quick test_cdf_at;
+          Alcotest.test_case "points monotone" `Quick test_cdf_points_monotone;
+          Alcotest.test_case "empty" `Quick test_cdf_empty_rejected;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "counts epochs" `Quick test_occupancy_counts_epochs;
+          Alcotest.test_case "empty" `Quick test_occupancy_empty;
+        ] );
+      ( "packet_log",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_packet_log_records_lifecycle;
+          Alcotest.test_case "silence gaps" `Quick test_packet_log_silence_gaps;
+          Alcotest.test_case "shutdown fraction" `Quick
+            test_packet_log_shut_down_fraction;
+          Alcotest.test_case "capacity bound" `Quick test_packet_log_capacity_bound;
+          Alcotest.test_case "csv" `Quick test_packet_log_csv;
+        ] );
+      ( "loss_monitor",
+        [
+          Alcotest.test_case "rates" `Quick test_loss_monitor_rates;
+          Alcotest.test_case "ignores control" `Quick test_loss_monitor_ignores_control;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_cdf_quantile_in_range ]);
+    ]

@@ -1,0 +1,340 @@
+(* Tests for taq_net: packets, the FIFO discipline helper, link
+   transmission timing and accounting, dumbbell delivery, loss
+   injection. *)
+
+open Taq_net
+module Sim = Taq_engine.Sim
+
+let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 500) ?(kind = Packet.Data) () =
+  Packet.make ~flow ~kind ~seq ~size ~sent_at:0.0 ()
+
+(* --- Packet ----------------------------------------------------------- *)
+
+let test_packet_uids_unique () =
+  Packet.reset_uid_counter ();
+  let a = mk_pkt () and b = mk_pkt () in
+  Alcotest.(check bool) "uids differ" true (a.Packet.uid <> b.Packet.uid)
+
+let test_packet_fields () =
+  let p =
+    Packet.make ~flow:7 ~pool:3 ~kind:Packet.Ack ~seq:42 ~size:40
+      ~sacks:[ (50, 52) ] ~sent_at:1.5 ()
+  in
+  Alcotest.(check int) "flow" 7 p.Packet.flow;
+  Alcotest.(check int) "pool" 3 p.Packet.pool;
+  Alcotest.(check int) "seq" 42 p.Packet.seq;
+  Alcotest.(check bool) "not retx by default" false p.Packet.retx
+
+(* --- Disc.fifo_of_queue ------------------------------------------------ *)
+
+let test_fifo_capacity () =
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:2 () in
+  let p1 = mk_pkt () and p2 = mk_pkt () and p3 = mk_pkt () in
+  Alcotest.(check int) "accept 1" 0 (List.length (disc.Disc.enqueue p1));
+  Alcotest.(check int) "accept 2" 0 (List.length (disc.Disc.enqueue p2));
+  let dropped = disc.Disc.enqueue p3 in
+  Alcotest.(check int) "drop 3rd" 1 (List.length dropped);
+  Alcotest.(check int) "len" 2 (disc.Disc.length ());
+  Alcotest.(check int) "bytes" 1000 (disc.Disc.bytes ())
+
+let test_fifo_order () =
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let p1 = mk_pkt ~seq:1 () and p2 = mk_pkt ~seq:2 () in
+  ignore (disc.Disc.enqueue p1);
+  ignore (disc.Disc.enqueue p2);
+  (match disc.Disc.dequeue () with
+  | Some p -> Alcotest.(check int) "fifo head" 1 p.Packet.seq
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "bytes track dequeue" 500 (disc.Disc.bytes ())
+
+(* --- Link ------------------------------------------------------------- *)
+
+let test_link_transmission_time () =
+  (* 1000-byte packet at 8000 bps = 1 s of transmission + 0.5 s prop. *)
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let arrival = ref nan in
+  let link =
+    Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.5 ~disc
+      ~deliver:(fun _ -> arrival := Sim.now sim)
+  in
+  ignore (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "tx + prop" 1.5 !arrival
+
+let test_link_serializes () =
+  (* Two packets back to back: second is delayed by the first's
+     transmission time. *)
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let arrivals = ref [] in
+  let link =
+    Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> arrivals := Sim.now sim :: !arrivals)
+  in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         Link.send link (mk_pkt ~size:1000 ());
+         Link.send link (mk_pkt ~size:1000 ())));
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 1.0; 2.0 ] (List.rev !arrivals)
+
+let test_link_counts_drops () =
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
+  let link =
+    Link.create ~sim ~capacity_bps:1e6 ~prop_delay:0.0 ~disc ~deliver:(fun _ -> ())
+  in
+  let drop_seen = ref 0 in
+  Link.on_drop link (fun _ -> incr drop_seen);
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         (* First starts transmitting immediately (leaves queue), the
+            next fills the 1-slot queue, the third drops. *)
+         Link.send link (mk_pkt ());
+         Link.send link (mk_pkt ());
+         Link.send link (mk_pkt ());
+         Link.send link (mk_pkt ())));
+  Sim.run sim;
+  let s = Link.stats link in
+  Alcotest.(check int) "offered" 4 s.Link.offered;
+  Alcotest.(check int) "dropped" 2 s.Link.dropped;
+  Alcotest.(check int) "listener saw drops" 2 !drop_seen;
+  Alcotest.(check int) "transmitted rest" 2 s.Link.transmitted
+
+let test_link_utilization () =
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let link =
+    Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> ())
+  in
+  ignore (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
+  (* 1 s busy; run until t=2 so utilization = 0.5. *)
+  ignore (Sim.schedule sim ~at:2.0 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "utilization" 0.5 (Link.utilization link)
+
+let test_link_work_conserving () =
+  (* A packet arriving while idle starts transmitting immediately even
+     after a previous busy period ended. *)
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let arrivals = ref [] in
+  let link =
+    Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
+      ~deliver:(fun _ -> arrivals := Sim.now sim :: !arrivals)
+  in
+  ignore (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
+  ignore (Sim.schedule sim ~at:5.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "second not delayed" [ 1.0; 6.0 ]
+    (List.rev !arrivals)
+
+(* --- Dumbbell ---------------------------------------------------------- *)
+
+let test_dumbbell_roundtrip () =
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
+  let net = Dumbbell.create ~sim ~capacity_bps:1e9 ~disc () in
+  let fwd_time = ref nan and rev_time = ref nan in
+  Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.2
+    ~deliver_fwd:(fun _ ->
+      fwd_time := Sim.now sim;
+      Dumbbell.send_rev net (mk_pkt ~kind:Packet.Ack ()))
+    ~deliver_rev:(fun _ -> rev_time := Sim.now sim);
+  ignore (Sim.schedule sim ~at:0.0 (fun () -> Dumbbell.send_fwd net (mk_pkt ())));
+  Sim.run sim;
+  (* At ~infinite capacity transmission is negligible: RTT ~= rtt_prop. *)
+  Alcotest.(check bool) "rtt close to prop" true
+    (Float.abs (!rev_time -. 0.2) < 0.001)
+
+let test_dumbbell_unknown_flow_evaporates () =
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
+  let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
+  Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.1
+    ~deliver_fwd:(fun _ -> ())
+    ~deliver_rev:(fun _ -> ());
+  ignore (Sim.schedule sim ~at:0.0 (fun () -> Dumbbell.send_fwd net (mk_pkt ())));
+  ignore
+    (Sim.schedule sim ~at:0.001 (fun () -> Dumbbell.unregister_flow net ~flow:1));
+  (* The packet is in flight when the flow disappears; it must not
+     crash the run. *)
+  Sim.run sim;
+  Alcotest.(check int) "no flows left" 0 (Dumbbell.flow_count net)
+
+let test_dumbbell_duplicate_registration_rejected () =
+  let sim = Sim.create () in
+  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
+  let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
+  let nop _ = () in
+  Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.1 ~deliver_fwd:nop
+    ~deliver_rev:nop;
+  match
+    Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.1 ~deliver_fwd:nop
+      ~deliver_rev:nop
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate registration should raise"
+
+(* --- External_loss ------------------------------------------------------ *)
+
+let test_external_loss_rate () =
+  let prng = Taq_util.Prng.create ~seed:55 in
+  let el = External_loss.create ~prng ~p:0.25 in
+  let delivered = ref 0 in
+  let f = External_loss.wrap el (fun _ -> incr delivered) in
+  let n = 100_000 in
+  for _ = 1 to n do
+    f (mk_pkt ())
+  done;
+  let rate = float_of_int (External_loss.dropped el) /. float_of_int n in
+  Alcotest.(check bool) "close to 0.25" true (Float.abs (rate -. 0.25) < 0.01);
+  Alcotest.(check int) "conservation" n (!delivered + External_loss.dropped el)
+
+let test_external_loss_zero () =
+  let prng = Taq_util.Prng.create ~seed:56 in
+  let el = External_loss.create ~prng ~p:0.0 in
+  let delivered = ref 0 in
+  let f = External_loss.wrap el (fun _ -> incr delivered) in
+  for _ = 1 to 1000 do
+    f (mk_pkt ())
+  done;
+  Alcotest.(check int) "all pass at p=0" 1000 !delivered
+
+
+(* --- Overlay (controlled-loss virtual link) ------------------------------- *)
+
+let test_overlay_conceals_loss () =
+  let sim = Sim.create ()
+  and prng = Taq_util.Prng.create ~seed:61 in
+  let delivered = ref 0 in
+  let ov =
+    Overlay.create ~sim ~prng ~raw_loss:0.2 ~hop_delay:0.01
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let n = 20_000 in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         for seq = 1 to n do
+           Overlay.send ov (mk_pkt ~seq ())
+         done));
+  Sim.run sim;
+  let residual = Overlay.residual_loss_rate ov in
+  (* Raw loss 0.2 with 4 attempts: residual ~ 0.2^4 = 0.0016. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "residual %.4f << raw 0.2" residual)
+    true (residual < 0.01);
+  let st = Overlay.stats ov in
+  Alcotest.(check int) "conservation" n (st.Overlay.delivered + st.Overlay.lost);
+  Alcotest.(check bool) "recovery happened" true (st.Overlay.retransmissions > 0)
+
+let test_overlay_budget_limits_recovery () =
+  (* With a tiny redundancy budget, recovery stops and losses become
+     visible again. *)
+  let sim = Sim.create ()
+  and prng = Taq_util.Prng.create ~seed:62 in
+  let ov =
+    Overlay.create ~sim ~prng ~raw_loss:0.3 ~hop_delay:0.01
+      ~redundancy_budget:0.01
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         for seq = 1 to 5_000 do
+           Overlay.send ov (mk_pkt ~seq ())
+         done));
+  Sim.run sim;
+  let residual = Overlay.residual_loss_rate ov in
+  Alcotest.(check bool)
+    (Printf.sprintf "residual %.3f near raw" residual)
+    true (residual > 0.2)
+
+let test_overlay_recovery_costs_latency () =
+  (* A packet that needed one retry arrives 2 hop-delays later than a
+     clean one. *)
+  let sim = Sim.create ()
+  and prng = Taq_util.Prng.create ~seed:63 in
+  let arrivals = ref [] in
+  let ov =
+    Overlay.create ~sim ~prng ~raw_loss:0.5 ~hop_delay:0.1
+      ~deliver:(fun p -> arrivals := (p.Packet.seq, Sim.now sim) :: !arrivals)
+      ()
+  in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         for seq = 1 to 200 do
+           Overlay.send ov (mk_pkt ~seq ())
+         done));
+  Sim.run sim;
+  (* Every arrival time is hop_delay + k * 2*hop_delay for k >= 0. *)
+  List.iter
+    (fun (_, at) ->
+      let k = (at -. 0.1) /. 0.2 in
+      if Float.abs (k -. Float.round k) > 1e-9 then
+        Alcotest.failf "arrival at %g is not hop + k*2hop" at)
+    !arrivals
+
+let test_overlay_zero_loss_passthrough () =
+  let sim = Sim.create ()
+  and prng = Taq_util.Prng.create ~seed:64 in
+  let delivered = ref 0 in
+  let ov =
+    Overlay.create ~sim ~prng ~raw_loss:0.0 ~hop_delay:0.05
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  ignore
+    (Sim.schedule sim ~at:0.0 (fun () ->
+         for seq = 1 to 100 do
+           Overlay.send ov (mk_pkt ~seq ())
+         done));
+  Sim.run sim;
+  Alcotest.(check int) "all delivered" 100 !delivered;
+  Alcotest.(check int) "no retransmissions" 0
+    (Overlay.stats ov).Overlay.retransmissions
+
+let () =
+  Alcotest.run "taq_net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "uids" `Quick test_packet_uids_unique;
+          Alcotest.test_case "fields" `Quick test_packet_fields;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "capacity" `Quick test_fifo_capacity;
+          Alcotest.test_case "order" `Quick test_fifo_order;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "tx time" `Quick test_link_transmission_time;
+          Alcotest.test_case "serializes" `Quick test_link_serializes;
+          Alcotest.test_case "drops" `Quick test_link_counts_drops;
+          Alcotest.test_case "utilization" `Quick test_link_utilization;
+          Alcotest.test_case "work conserving" `Quick test_link_work_conserving;
+        ] );
+      ( "dumbbell",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dumbbell_roundtrip;
+          Alcotest.test_case "evaporation" `Quick test_dumbbell_unknown_flow_evaporates;
+          Alcotest.test_case "dup registration" `Quick
+            test_dumbbell_duplicate_registration_rejected;
+        ] );
+      ( "external_loss",
+        [
+          Alcotest.test_case "rate" `Quick test_external_loss_rate;
+          Alcotest.test_case "zero" `Quick test_external_loss_zero;
+        ] );
+      ( "overlay",
+        [
+          Alcotest.test_case "conceals loss" `Quick test_overlay_conceals_loss;
+          Alcotest.test_case "budget" `Quick test_overlay_budget_limits_recovery;
+          Alcotest.test_case "latency cost" `Quick test_overlay_recovery_costs_latency;
+          Alcotest.test_case "zero loss" `Quick test_overlay_zero_loss_passthrough;
+        ] );
+    ]
