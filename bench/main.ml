@@ -6,21 +6,21 @@
      dune exec bench/main.exe                 # every figure, quick scale
      dune exec bench/main.exe -- fig2 fig8    # selected figures
      dune exec bench/main.exe -- --full       # full-fidelity parameters
-     dune exec bench/main.exe -- micro        # bechamel microbenchmarks *)
+     dune exec bench/main.exe -- --jobs 4     # figures on a Domain pool
+     dune exec bench/main.exe -- micro        # bechamel microbenchmarks
+
+   Every run also writes BENCH.json: machine-readable per-target
+   wall-clock seconds. *)
 
 open Taq_experiments
+module Pool = Taq_harness.Pool
+module Task = Taq_harness.Task
 
 let section title = Printf.printf "\n==== %s ====\n\n%!" title
-
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Printf.printf "\n[%.1f s]\n%!" (Unix.gettimeofday () -. t0)
 
 (* --- microbenchmarks ------------------------------------------------------ *)
 
 let micro ~full =
-  ignore full;
   section "microbenchmarks (bechamel): hot paths";
   let open Bechamel in
   let heap_bench =
@@ -54,6 +54,7 @@ let micro ~full =
   let taq_bench =
     Test.make ~name:"taq enqueue+dequeue x100"
       (Staged.stage (fun () ->
+           let alloc = Taq_net.Packet.alloc () in
            let sim = Taq_engine.Sim.create () in
            let config =
              Taq_core.Taq_config.default ~capacity_pkts:50 ~capacity_bps:1e6
@@ -63,7 +64,7 @@ let micro ~full =
            for i = 0 to 99 do
              ignore
                (d.Taq_net.Disc.enqueue
-                  (Taq_net.Packet.make ~flow:(i mod 10)
+                  (Taq_net.Packet.make ~alloc ~flow:(i mod 10)
                      ~kind:Taq_net.Packet.Data ~seq:(i / 10) ~size:500
                      ~sent_at:0.0 ()));
              ignore (d.Taq_net.Disc.dequeue ())
@@ -72,7 +73,6 @@ let micro ~full =
   let sim_bench =
     Test.make ~name:"tcp transfer 50 segments (end to end)"
       (Staged.stage (fun () ->
-           Taq_tcp.Tcp_session.reset_flow_ids ();
            let sim = Taq_engine.Sim.create () in
            let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
            let net = Taq_net.Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
@@ -87,7 +87,11 @@ let micro ~full =
     Test.make_grouped ~name:"taq"
       [ heap_bench; prng_bench; markov_bench; taq_bench; sim_bench ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  (* [full] buys tighter estimates: more samples and a longer quota per
+     benchmark (quick: 2000 runs / 0.5 s; full: 5000 runs / 2 s). *)
+  let limit = if full then 5000 else 2000 in
+  let quota = Time.second (if full then 2.0 else 0.5) in
+  let cfg = Benchmark.cfg ~limit ~quota () in
   let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
   let results =
     Analyze.all
@@ -108,36 +112,132 @@ let micro ~full =
   List.iter
     (fun (name, est) -> Taq_util.Table.add_row table [ name; est ])
     (List.sort compare !rows);
-  Taq_util.Table.print table
+  Taq_util.Table.print ~oc:stdout table
+
+(* --- BENCH.json ----------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path ~full ~jobs timings =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"scale\": \"%s\",\n  \"jobs\": %d,\n  \"targets\": [\n"
+    (if full then "full" else "quick")
+    jobs;
+  let n = List.length timings in
+  List.iteri
+    (fun i (name, seconds) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n"
+        (json_escape name) seconds
+        (if i = n - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d targets)\n%!" path n
 
 (* --- driver ---------------------------------------------------------------- *)
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--full] [--jobs N] [TARGET...]\n\
+     known targets: %s, micro\n"
+    (String.concat ", " Registry.names);
+  exit 2
+
+let parse_args args =
+  let full = ref false and jobs = ref 1 and names = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        full := true;
+        go rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            go rest
+        | _ -> usage ())
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+        match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+        | Some n when n >= 1 ->
+            jobs := n;
+            go rest
+        | _ -> usage ())
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | name :: rest ->
+        names := name :: !names;
+        go rest
+  in
+  go args;
+  (!full, !jobs, List.rev !names)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let selected =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  let full, jobs, selected = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let want_micro, registry_names =
+    match selected with
+    | [] -> (true, Registry.names)
+    | names -> (List.mem "micro" names, List.filter (( <> ) "micro") names)
   in
-  let run_target (t : Registry.target) =
-    timed (fun () ->
-        section (Printf.sprintf "%s: %s" t.Registry.name t.Registry.description);
-        t.Registry.run ~full)
+  let targets =
+    List.map
+      (fun name ->
+        match Registry.find name with
+        | Some t -> t
+        | None ->
+            Printf.eprintf "unknown target %S (known: %s, micro)\n" name
+              (String.concat ", " Registry.names);
+            exit 2)
+      registry_names
   in
-  Printf.printf "TAQ benchmark harness (%s scale)\n"
-    (if full then "full" else "quick");
-  match selected with
-  | [] ->
-      List.iter run_target Registry.targets;
-      timed (fun () -> micro ~full)
-  | names ->
-      List.iter
-        (fun name ->
-          if name = "micro" then timed (fun () -> micro ~full)
-          else
-            match Registry.find name with
-            | Some t -> run_target t
-            | None ->
-                Printf.eprintf "unknown target %S (known: %s, micro)\n" name
-                  (String.concat ", " Registry.names);
-                exit 2)
-        names
+  Printf.printf "TAQ benchmark harness (%s scale, jobs=%d)\n"
+    (if full then "full" else "quick")
+    jobs;
+  (* Figure targets run as harness tasks: each captures its own output
+     (so a parallel pool never interleaves text) and reports per-task
+     wall-clock time. jobs=1 is the plain in-process sequential path. *)
+  let tasks =
+    List.map
+      (fun t ->
+        Task.make ~key:t.Registry.name (fun ~seed:_ ->
+            Registry.capture t ~full))
+      targets
+  in
+  let results =
+    Pool.run ~jobs
+      ~on_done:(fun ~completed ~total r ->
+        if jobs > 1 then
+          Printf.eprintf "[%d/%d] %s (%.1f s)\n%!" completed total r.Pool.key
+            r.Pool.elapsed_s)
+      tasks
+  in
+  let timings = ref [] in
+  List.iter2
+    (fun t r ->
+      section (Printf.sprintf "%s: %s" t.Registry.name t.Registry.description);
+      (match r.Pool.value with
+      | Ok outcome -> print_string outcome.Registry.output
+      | Error msg -> Printf.printf "TARGET FAILED: %s\n" msg);
+      Printf.printf "\n[%.1f s]\n%!" r.Pool.elapsed_s;
+      timings := (t.Registry.name, r.Pool.elapsed_s) :: !timings)
+    targets results;
+  if want_micro then begin
+    let t0 = Unix.gettimeofday () in
+    micro ~full;
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "\n[%.1f s]\n%!" dt;
+    timings := ("micro", dt) :: !timings
+  end;
+  write_bench_json ~path:"BENCH.json" ~full ~jobs (List.rev !timings)

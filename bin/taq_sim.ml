@@ -3,11 +3,14 @@
    Subcommands:
      experiment  run a paper-figure reproduction by name
      sim         ad-hoc dumbbell contention run with any queue
+     sweep       a (discipline x capacity x fair-share x rep) grid on a
+                 Domain worker pool, with an on-disk result cache
      model       evaluate the idealized Markov models
      trace       generate a synthetic proxy access trace (CSV) *)
 
 open Cmdliner
 open Taq_experiments
+module Harness = Taq_harness
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -161,6 +164,223 @@ let sim_cmd =
     Term.(
       const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts $ seed
       $ pcap)
+
+(* --- sweep ---------------------------------------------------------------- *)
+
+(* One grid point: an independent simulation whose PRNG seed derives
+   from the task key (splitmix over the key), so the result is the same
+   whichever worker domain runs it, in whatever order. Output goes
+   through the Out sink so the harness captures it per task. *)
+let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~rep
+    ~seed () =
+  let buffer_pkts =
+    Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
+  in
+  let q =
+    match queue with
+    | `Droptail -> Common.Droptail
+    | `Red -> Common.Red
+    | `Sfq -> Common.Sfq
+    | `Drr -> Common.Drr
+    | `Taq -> Common.Taq (Common.taq_config ~capacity_bps:capacity ~buffer_pkts ())
+    | `Taq_ac ->
+        Common.Taq
+          (Common.taq_config ~admission:true ~capacity_bps:capacity
+             ~buffer_pkts ())
+  in
+  let flows =
+    Common.flows_for_fair_share ~capacity_bps:capacity ~fair_share_bps:fair_share
+  in
+  let env =
+    Common.make_env ~queue:q ~capacity_bps:capacity ~buffer_pkts ~seed ()
+  in
+  let ids = Common.spawn_long_flows env ~n:flows ~rtt ~rtt_jitter:0.1 () in
+  Common.run env ~until:duration;
+  let out = Taq_util.Out.printf in
+  out "queue=%s capacity=%.0f fair_share=%.0f flows=%d rep=%d seed=%d\n"
+    (Common.queue_name q) capacity fair_share flows rep seed;
+  out "  jain_short=%.3f jain_long=%.3f utilization=%.3f loss_rate=%.4f\n"
+    (Taq_metrics.Slicer.mean_jain env.Common.slicer ~flows:ids ~first:1 ())
+    (Taq_metrics.Slicer.long_term_jain env.Common.slicer ~flows:ids)
+    (Common.utilization env)
+    (Common.measured_loss_rate env)
+
+let sweep_cmd =
+  let queues =
+    Arg.(
+      value
+      & opt (list queue_conv) [ `Droptail; `Taq ]
+      & info [ "queues" ] ~docv:"QUEUES"
+          ~doc:"Comma-separated disciplines (droptail, red, sfq, drr, taq, taq+ac).")
+  in
+  let capacities =
+    Arg.(
+      value
+      & opt (list float) [ 600e3 ]
+      & info [ "capacities" ] ~docv:"BPS,.." ~doc:"Bottleneck capacities, bits/s.")
+  in
+  let fair_shares =
+    Arg.(
+      value
+      & opt (list float) [ 4e3; 10e3; 20e3; 40e3 ]
+      & info [ "fair-shares" ] ~docv:"BPS,.." ~doc:"Per-flow fair shares, bits/s.")
+  in
+  let reps =
+    Arg.(
+      value & opt int 1
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Replicas per point (each derives its own seed from the task key).")
+  in
+  let rtt =
+    Arg.(value & opt float 0.2 & info [ "rtt" ] ~docv:"S" ~doc:"Propagation RTT.")
+  in
+  let duration =
+    Arg.(value & opt float 200.0 & info [ "d"; "duration" ] ~docv:"S" ~doc:"Run length.")
+  in
+  let buffer_rtts =
+    Arg.(
+      value & opt float 1.0
+      & info [ "buffer-rtts" ] ~docv:"RTTS" ~doc:"Buffer size in RTTs of delay.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains. 1 runs sequentially in-process; outputs are \
+                byte-identical either way.")
+  in
+  let results_dir =
+    Arg.(
+      value
+      & opt string Harness.Cache.default_dir
+      & info [ "results-dir" ] ~docv:"DIR" ~doc:"On-disk result cache directory.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the cache.")
+  in
+  let run queues capacities fair_shares reps rtt duration buffer_rtts jobs
+      results_dir no_cache =
+    if reps < 1 then `Error (false, "--reps must be >= 1")
+    else begin
+      let queue_tag = function
+        | `Droptail -> "droptail"
+        | `Red -> "red"
+        | `Sfq -> "sfq"
+        | `Drr -> "drr"
+        | `Taq -> "taq"
+        | `Taq_ac -> "taq+ac"
+      in
+      (* The task key is the point's full identity: every parameter that
+         affects the output is in it, so it doubles as the cache key and
+         as the seed source. *)
+      let points =
+        List.concat_map
+          (fun queue ->
+            List.concat_map
+              (fun capacity ->
+                List.concat_map
+                  (fun fair_share ->
+                    List.init reps (fun rep ->
+                        let key =
+                          Printf.sprintf
+                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d"
+                            (queue_tag queue) capacity fair_share rtt duration
+                            buffer_rtts rep
+                        in
+                        (key, queue, capacity, fair_share, rep)))
+                  fair_shares)
+              capacities)
+          queues
+      in
+      let cache = Harness.Cache.create ~dir:results_dir () in
+      let cached key =
+        if no_cache then None
+        else Harness.Cache.find cache ~key:(Harness.Cache.key ~parts:[ key ])
+      in
+      (* Split into cache hits (served from disk) and tasks to compute. *)
+      let jobs_list =
+        List.filter_map
+          (fun (key, queue, capacity, fair_share, rep) ->
+            match cached key with
+            | Some _ -> None
+            | None ->
+                Some
+                  (Harness.Task.make ~key (fun ~seed ->
+                       Harness.Capture.text
+                         (sweep_point ~queue ~capacity ~fair_share ~rtt
+                            ~duration ~buffer_rtts ~rep ~seed))))
+          points
+      in
+      let computed =
+        Harness.Pool.run ~jobs
+          ~on_done:(fun ~completed ~total r ->
+            Printf.eprintf "[%d/%d] %s (%.1f s)\n%!" completed total
+              r.Harness.Pool.key r.Harness.Pool.elapsed_s)
+          jobs_list
+      in
+      let by_key = Hashtbl.create 64 in
+      List.iter
+        (fun (r : string Harness.Pool.result) ->
+          Hashtbl.replace by_key r.Harness.Pool.key r)
+        computed;
+      let summary =
+        Taq_util.Table.create ~columns:[ "task"; "seconds"; "source" ]
+      in
+      let hits = ref 0 and misses = ref 0 and failures = ref 0 in
+      List.iter
+        (fun (key, _, _, _, _) ->
+          let hash = Harness.Cache.key ~parts:[ key ] in
+          match Hashtbl.find_opt by_key key with
+          | Some r -> (
+              match r.Harness.Pool.value with
+              | Ok output ->
+                  incr misses;
+                  if not no_cache then
+                    Harness.Cache.store cache ~key:hash output;
+                  print_string output;
+                  Taq_util.Table.add_row summary
+                    [
+                      key;
+                      Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
+                      "computed";
+                    ]
+              | Error msg ->
+                  incr failures;
+                  Printf.printf "%s FAILED: %s\n" key msg;
+                  Taq_util.Table.add_row summary
+                    [
+                      key;
+                      Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
+                      "failed";
+                    ])
+          | None -> (
+              (* Not computed this run: serve from the cache. *)
+              match Harness.Cache.find cache ~key:hash with
+              | Some output ->
+                  incr hits;
+                  print_string output;
+                  Taq_util.Table.add_row summary [ key; "-"; "cache hit" ]
+              | None -> assert false))
+        points;
+      Printf.printf "\n-- sweep summary (%d points, jobs=%d) --\n\n"
+        (List.length points) jobs;
+      Taq_util.Table.print ~oc:stdout summary;
+      Printf.printf "\ncache: %d hits, %d misses%s (dir: %s)\n" !hits !misses
+        (if no_cache then " [cache disabled]" else "")
+        results_dir;
+      if !failures > 0 then
+        `Error (false, Printf.sprintf "%d sweep point(s) failed" !failures)
+      else `Ok ()
+    end
+  in
+  let doc = "Parameter-grid sweep on a Domain worker pool (with result cache)" in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      ret
+        (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
+       $ buffer_rtts $ jobs $ results_dir $ no_cache))
 
 (* --- model --------------------------------------------------------------- *)
 
@@ -341,4 +561,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; sim_cmd; model_cmd; trace_cmd; replay_cmd ]))
+          [ experiment_cmd; sim_cmd; sweep_cmd; model_cmd; trace_cmd; replay_cmd ]))

@@ -24,7 +24,6 @@ let duration = 300.0
 let rtt = 0.2
 
 let () =
-  Taq_tcp.Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let buffer_pkts =
     Taq_queueing.Droptail.capacity_for_rtt ~capacity_bps ~rtt ~pkt_bytes:500

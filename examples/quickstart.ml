@@ -26,7 +26,6 @@ let rtt = 0.2
 let duration = 120.0
 
 let run_contention ~label ~disc ~sim =
-  Tcp_session.reset_flow_ids ();
   let net = Dumbbell.create ~sim ~capacity_bps ~disc () in
   let tcp = Tcp_config.make ~use_syn:false () in
   let slicer = Slicer.create ~slice:20.0 in

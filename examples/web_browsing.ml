@@ -23,7 +23,6 @@ let duration = 240.0
 let object_bytes = 15_000 (* a typical small web object *)
 
 let run ~label ~make_disc =
-  Taq_tcp.Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let disc = make_disc sim in
   let net = Taq_net.Dumbbell.create ~sim ~capacity_bps ~disc () in

@@ -37,7 +37,6 @@ let taq_config ?(admission = false) ~capacity_bps ~buffer_pkts () =
 
 let make_env ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     ?(evolution_window = 5.0) ?(seed = 1) () =
-  Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let prng = Taq_util.Prng.create ~seed in
   let taq = ref None in

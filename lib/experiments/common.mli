@@ -31,8 +31,10 @@ val make_env :
   ?seed:int ->
   unit ->
   env
-(** A fresh simulator, dumbbell and recorders. Resets the global flow-id
-    counter so experiments are independent. *)
+(** A fresh simulator, dumbbell and recorders. The env is fully
+    self-contained — flow ids and packet uids are allocated by the
+    env's own network, so independent envs can run concurrently in
+    separate domains. *)
 
 val taq_config :
   ?admission:bool -> capacity_bps:float -> buffer_pkts:int -> unit ->

@@ -169,14 +169,14 @@ let print results =
   let find queue bucket =
     List.find_opt (fun r -> r.queue = queue && r.bucket = bucket) results
   in
-  print_newline ();
+  Taq_util.Out.newline ();
   List.iter
     (fun bucket ->
       match (find "droptail" bucket, find "taq+ac" bucket) with
       | Some { cdf = Some dt; _ }, Some { cdf = Some taq; _ } ->
-          Printf.printf "%s: median speedup %.2fx, worst-case speedup %.2fx\n"
-            bucket
+          Taq_util.Out.printf
+            "%s: median speedup %.2fx, worst-case speedup %.2fx\n" bucket
             (Cdf.quantile dt 0.5 /. Cdf.quantile taq 0.5)
             (Cdf.quantile dt 1.0 /. Cdf.quantile taq 1.0)
-      | _ -> Printf.printf "%s: insufficient completions for ratios\n" bucket)
+      | _ -> Taq_util.Out.printf "%s: insufficient completions for ratios\n" bucket)
     [ "10-20KB"; "100-110KB" ]

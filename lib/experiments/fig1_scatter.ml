@@ -168,6 +168,6 @@ let print r =
         ])
     r.rows;
   Taq_util.Table.print table;
-  Printf.printf
+  Taq_util.Out.printf
     "\ncompleted=%d unfinished=%d download-time spread: %.1f orders of magnitude\n"
     r.completed r.unfinished r.spread_orders

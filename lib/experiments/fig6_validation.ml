@@ -103,7 +103,6 @@ let variant_name = function
   | Tcp_config.Sack -> "sack"
 
 let run_bernoulli p_params ~variant ~p =
-  Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"clean" ~capacity_pkts:10_000 () in
   let net = Dumbbell.create ~sim ~capacity_bps:1e8 ~disc () in
@@ -147,7 +146,6 @@ let run_bernoulli p_params ~variant ~p =
    queueing delay: one RTT of buffering roughly doubles the
    propagation RTT under load. *)
 let run_bottleneck p_params ~capacity_bps ~flows_per_mbps =
-  Tcp_session.reset_flow_ids ();
   let flows =
     Stdlib.max 8
       (int_of_float (capacity_bps /. 1e6 *. float_of_int flows_per_mbps))

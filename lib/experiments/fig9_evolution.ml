@@ -103,7 +103,7 @@ let print results =
       done)
     results;
   Taq_util.Table.print table;
-  print_newline ();
+  Taq_util.Out.newline ();
   let summary =
     Taq_util.Table.create
       ~columns:[ "queue"; "mean_stalled_frac"; "mean_maintained_frac" ]

@@ -1,7 +1,15 @@
+module Out = Taq_util.Out
+
 type target = {
   name : string;
   description : string;
   run : full:bool -> unit;
+}
+
+type outcome = {
+  target : string;
+  full : bool;
+  output : string;
 }
 
 let fig1 ~full =
@@ -16,12 +24,12 @@ let fig3 ~full =
   let p = if full then Fig3_buffer.default else Fig3_buffer.quick in
   let rows = Fig3_buffer.run p in
   Fig3_buffer.print rows;
-  print_newline ();
+  Out.newline ();
   List.iter
     (fun target ->
       List.iter
         (fun (share, buf) ->
-          Printf.printf "fair share %.2f pkt/RTT: %s\n" share
+          Out.printf "fair share %.2f pkt/RTT: %s\n" share
             (match buf with
             | Some b ->
                 Printf.sprintf "JFI>=%.2f reached with %.1f RTTs of buffer"
@@ -109,7 +117,7 @@ let cubic ~full =
 let ablate ~full =
   let p = if full then Ablations.default else Ablations.quick in
   Ablations.print (Ablations.run_queue_ablations p);
-  Printf.printf "\n-- admission threshold sweep (pthresh) --\n\n";
+  Out.printf "\n-- admission threshold sweep (pthresh) --\n\n";
   Ablations.print_pthresh (Ablations.run_pthresh_sweep p)
 
 let targets =
@@ -190,3 +198,7 @@ let targets =
 let find name = List.find_opt (fun t -> t.name = name) targets
 
 let names = List.map (fun t -> t.name) targets
+
+let capture t ~full =
+  let output, () = Out.with_buffer (fun () -> t.run ~full) in
+  { target = t.name; full; output }

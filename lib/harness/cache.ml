@@ -1,0 +1,70 @@
+type t = {
+  dir : string;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_dir = "_results"
+
+let create ?(dir = default_dir) () =
+  { dir; mutex = Mutex.create (); hits = 0; misses = 0 }
+
+let dir t = t.dir
+
+(* Content address: MD5 over the NUL-joined parts. NUL never occurs in
+   parameter renderings, so distinct part lists cannot collide by
+   concatenation. *)
+let key ~parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let path t ~key = Filename.concat t.dir (key ^ ".txt")
+
+let rec mkdirs d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t ~key:k =
+  let p = path t ~key:k in
+  if Sys.file_exists p then Some (read_file p) else None
+
+let store t ~key:k data =
+  mkdirs t.dir;
+  (* Write-then-rename so a concurrent reader never observes a torn
+     entry; the temp file lives in the cache dir so the rename stays on
+     one filesystem. *)
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) k)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Sys.rename tmp (path t ~key:k)
+
+let find_or_compute t ~key:k f =
+  match find t ~key:k with
+  | Some data ->
+      Mutex.lock t.mutex;
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mutex;
+      (`Hit, data)
+  | None ->
+      let data = f () in
+      store t ~key:k data;
+      Mutex.lock t.mutex;
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.mutex;
+      (`Miss, data)
+
+let hits t = t.hits
+
+let misses t = t.misses

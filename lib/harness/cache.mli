@@ -1,0 +1,37 @@
+(** A content-addressed on-disk result cache.
+
+    Entries live under a cache directory (default [_results/]) as
+    [<md5-hex>.txt], keyed by a hash of the run's identity — target
+    name, parameters, full flag — built with {!key}. Re-running a
+    sweep therefore recomputes only the parameter points whose entries
+    are missing; everything else is served from disk and reported as a
+    hit. Stores are write-then-rename, so readers never observe torn
+    entries even with concurrent writers. *)
+
+type t
+
+val default_dir : string
+(** ["_results"]. *)
+
+val create : ?dir:string -> unit -> t
+
+val dir : t -> string
+
+val key : parts:string list -> string
+(** Content address of a run identity: MD5 hex over the NUL-joined
+    parts (e.g. [["sweep"; "droptail"; "cap=600000"; "full=false"]]).
+    Include every parameter that affects the output — anything left
+    out silently aliases cache entries. *)
+
+val find : t -> key:string -> string option
+
+val store : t -> key:string -> string -> unit
+
+val find_or_compute :
+  t -> key:string -> (unit -> string) -> [ `Hit | `Miss ] * string
+(** Serve from disk, or compute, store and return. Updates the
+    hit/miss counters (thread-safe). *)
+
+val hits : t -> int
+
+val misses : t -> int

@@ -1,0 +1,135 @@
+type 'a result = {
+  key : string;
+  value : ('a, string) Stdlib.result;
+  elapsed_s : float;
+}
+
+(* --- a tiny closeable work queue (Mutex + Condition) ------------------- *)
+
+module Work_queue = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    items : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      items = Queue.create ();
+      closed = false;
+    }
+
+  let push t x =
+    Mutex.lock t.mutex;
+    Queue.push x t.items;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+
+  (* Blocks until an item is available or the queue is closed and
+     drained; [None] means "no more work, ever". *)
+  let pop t =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      match Queue.take_opt t.items with
+      | Some x ->
+          Mutex.unlock t.mutex;
+          Some x
+      | None ->
+          if t.closed then begin
+            Mutex.unlock t.mutex;
+            None
+          end
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            wait ()
+          end
+    in
+    wait ()
+end
+
+(* --- execution --------------------------------------------------------- *)
+
+let exec task =
+  let t0 = Unix.gettimeofday () in
+  let value =
+    match Task.run task with
+    | v -> Ok v
+    | exception e -> Error (Printexc.to_string e)
+  in
+  { key = Task.key task; value; elapsed_s = Unix.gettimeofday () -. t0 }
+
+let run ?(jobs = 1) ?on_done tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let results : 'a result option array = Array.make n None in
+  let progress_mutex = Mutex.create () in
+  let finished = ref 0 in
+  let note i r =
+    (* Called from worker domains: protect the results array and the
+       progress callback with one mutex so callbacks never interleave. *)
+    Mutex.lock progress_mutex;
+    results.(i) <- Some r;
+    incr finished;
+    (match on_done with
+    | Some f -> f ~completed:!finished ~total:n r
+    | None -> ());
+    Mutex.unlock progress_mutex
+  in
+  if jobs <= 1 || n <= 1 then
+    (* Degraded mode: strictly sequential, in-process, no domains. *)
+    Array.iteri (fun i task -> note i (exec task)) tasks
+  else begin
+    let queue = Work_queue.create () in
+    let worker () =
+      let rec loop () =
+        match Work_queue.pop queue with
+        | None -> ()
+        | Some i ->
+            note i (exec tasks.(i));
+            loop ()
+      in
+      loop ()
+    in
+    let domains =
+      List.init (Stdlib.min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    Array.iteri (fun i _ -> Work_queue.push queue i) tasks;
+    Work_queue.close queue;
+    List.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* every index was executed exactly once *))
+       results)
+
+let value_exn r =
+  match r.value with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "task %s failed: %s" r.key msg)
+
+let report ?(columns = [ "task"; "seconds"; "status" ]) results =
+  let table = Taq_util.Table.create ~columns in
+  List.iter
+    (fun r ->
+      Taq_util.Table.add_row table
+        [
+          r.key;
+          Printf.sprintf "%.2f" r.elapsed_s;
+          (match r.value with Ok _ -> "ok" | Error msg -> "failed: " ^ msg);
+        ])
+    results;
+  let total = List.fold_left (fun acc r -> acc +. r.elapsed_s) 0.0 results in
+  Taq_util.Table.add_row table
+    [ "total"; Printf.sprintf "%.2f" total; "" ];
+  table

@@ -1,0 +1,37 @@
+(** A Domain worker pool for embarrassingly parallel sweeps.
+
+    [run ~jobs tasks] executes every task exactly once and returns the
+    results in the order of the input list, regardless of which worker
+    finished first. [jobs <= 1] degrades to a plain in-process
+    sequential loop (no domains spawned), which is both the fallback
+    for single-core machines and the reference behaviour the parallel
+    path is tested against: because task seeds derive from task keys
+    and tasks share no mutable state, [run ~jobs:4] must produce
+    results identical to [run ~jobs:1].
+
+    Internally the pool is a closeable work queue (Mutex + Condition)
+    drained by [min jobs n] domains. *)
+
+type 'a result = {
+  key : string;  (** the task's key *)
+  value : ('a, string) Stdlib.result;
+      (** [Error] carries [Printexc.to_string] of a task that raised;
+          one failing task does not take down the sweep *)
+  elapsed_s : float;  (** the task's own wall-clock seconds *)
+}
+
+val run :
+  ?jobs:int ->
+  ?on_done:(completed:int -> total:int -> 'a result -> unit) ->
+  'a Task.t list ->
+  'a result list
+(** Execute all tasks; results are input-ordered. [on_done] is a
+    progress hook invoked under the pool's lock as each task finishes
+    (safe to print from). Default [jobs] is 1. *)
+
+val value_exn : 'a result -> 'a
+(** The task's value, or [Failure] re-raising the recorded error. *)
+
+val report : ?columns:string list -> 'a result list -> Taq_util.Table.t
+(** A summary table (task, seconds, status) with a trailing total row
+    — print it with {!Taq_util.Table.print}. *)

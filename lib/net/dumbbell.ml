@@ -10,6 +10,8 @@ type t = {
   sim : Sim.t;
   link : Link.t;
   flows : (int, endpoints) Hashtbl.t;
+  alloc : Packet.alloc;  (* per-network uid allocation: no globals *)
+  mutable next_flow : int;
 }
 
 (* The flow's propagation RTT is split: a small fixed share ahead of the
@@ -26,7 +28,7 @@ let create ~sim ~capacity_bps ?(link_delay = 0.0) ~disc () =
     | Some ep -> ep.deliver_fwd p
   in
   let link = Link.create ~sim ~capacity_bps ~prop_delay:link_delay ~disc ~deliver in
-  { sim; link; flows }
+  { sim; link; flows; alloc = Packet.alloc (); next_flow = 0 }
 
 let register_flow t ~flow ~rtt_prop ~deliver_fwd ~deliver_rev =
   if Hashtbl.mem t.flows flow then
@@ -56,6 +58,12 @@ let send_rev t p =
          match Hashtbl.find_opt t.flows p.Packet.flow with
          | None -> ()
          | Some ep -> ep.deliver_rev p))
+
+let packet_alloc t = t.alloc
+
+let next_flow_id t =
+  t.next_flow <- t.next_flow + 1;
+  t.next_flow
 
 let link t = t.link
 

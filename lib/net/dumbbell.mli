@@ -46,6 +46,16 @@ val send_rev : t -> Packet.t -> unit
 (** Receiver-side transmit (ACKs, SYN-ACKs): pure delay, no
     congestion. *)
 
+val packet_alloc : t -> Packet.alloc
+(** The network's packet-uid allocator. Everything injecting packets
+    into this network (TCP endpoints, tests) draws uids from here, so
+    uids are unique per network and no process-global state exists. *)
+
+val next_flow_id : t -> int
+(** Allocate the next flow id on this network (1, 2, …). Ids are
+    per-network: two simulations running in parallel domains hand out
+    independent, deterministic id sequences. *)
+
 val link : t -> Link.t
 
 val sim : t -> Taq_engine.Sim.t

@@ -12,14 +12,22 @@ type t = {
   sent_at : float;
 }
 
-let uid_counter = ref 0
+(* Packet uids only need to be unique within one simulated network
+   (disciplines compare uids to tell an arriving packet from queued
+   victims). Allocation therefore lives in a per-network allocator —
+   there is deliberately no process-global counter, so independent
+   simulations can run in parallel domains without sharing state. *)
+type alloc = { mutable next_uid : int }
 
-let reset_uid_counter () = uid_counter := 0
+let alloc () = { next_uid = 0 }
 
-let make ~flow ?(pool = -1) ~kind ~seq ~size ?(retx = false) ?(sacks = [])
-    ~sent_at () =
-  incr uid_counter;
-  { uid = !uid_counter; flow; pool; kind; seq; size; retx; sacks; sent_at }
+let fresh_uid a =
+  a.next_uid <- a.next_uid + 1;
+  a.next_uid
+
+let make ~alloc ~flow ?(pool = -1) ~kind ~seq ~size ?(retx = false)
+    ?(sacks = []) ~sent_at () =
+  { uid = fresh_uid alloc; flow; pool; kind; seq; size; retx; sacks; sent_at }
 
 let kind_to_string = function
   | Syn -> "SYN"

@@ -26,7 +26,19 @@ type t = {
   sent_at : float;  (** time the packet entered the network *)
 }
 
+type alloc
+(** A packet-uid allocator. Uids must be unique within one simulated
+    network (disciplines compare them); each network owns its own
+    allocator, so independent simulations share no mutable state and
+    can run in parallel domains. *)
+
+val alloc : unit -> alloc
+(** A fresh allocator starting at uid 1. *)
+
+val fresh_uid : alloc -> int
+
 val make :
+  alloc:alloc ->
   flow:int ->
   ?pool:int ->
   kind:kind ->
@@ -37,11 +49,8 @@ val make :
   sent_at:float ->
   unit ->
   t
-(** Allocate a packet with a fresh [uid]. *)
+(** Allocate a packet with a fresh [uid] from [alloc]. *)
 
 val pp : Format.formatter -> t -> unit
 
 val kind_to_string : kind -> string
-
-val reset_uid_counter : unit -> unit
-(** For test isolation only. *)

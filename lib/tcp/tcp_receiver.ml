@@ -1,6 +1,7 @@
 module Packet = Taq_net.Packet
 
 type t = {
+  alloc : Packet.alloc;
   flow : int;
   pool : int;
   config : Tcp_config.t;
@@ -17,8 +18,9 @@ type t = {
   mutable acks_sent : int;
 }
 
-let create ~flow ?(pool = -1) ~config ~now ~send ?schedule () =
+let create ?alloc ~flow ?(pool = -1) ~config ~now ~send ?schedule () =
   {
+    alloc = (match alloc with Some a -> a | None -> Packet.alloc ());
     flow;
     pool;
     config;
@@ -89,8 +91,9 @@ let send_ack_now t =
     | Tcp_config.Reno | Tcp_config.Newreno -> []
   in
   let pkt =
-    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Ack ~seq:t.cum
-      ~size:t.config.Tcp_config.ack_bytes ~sacks ~sent_at:(t.now ()) ()
+    Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Ack
+      ~seq:t.cum ~size:t.config.Tcp_config.ack_bytes ~sacks
+      ~sent_at:(t.now ()) ()
   in
   t.ack_pending <- false;
   t.acks_sent <- t.acks_sent + 1;
@@ -112,8 +115,8 @@ let send_ack ?(in_order = false) t =
 
 let send_syn_ack t =
   let pkt =
-    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn_ack ~seq:0
-      ~size:t.config.Tcp_config.ack_bytes ~sent_at:(t.now ()) ()
+    Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn_ack
+      ~seq:0 ~size:t.config.Tcp_config.ack_bytes ~sent_at:(t.now ()) ()
   in
   t.send pkt
 

@@ -4,6 +4,7 @@
 type t
 
 val create :
+  ?alloc:Taq_net.Packet.alloc ->
   flow:int ->
   ?pool:int ->
   config:Tcp_config.t ->
@@ -12,7 +13,11 @@ val create :
   ?schedule:(delay:float -> (unit -> unit) -> unit) ->
   unit ->
   t
-(** [send] transmits acks on the (uncongested) return path.
+(** [alloc] is the packet-uid allocator acks are drawn from — pass the
+    network's ({!Taq_net.Dumbbell.packet_alloc}) when the receiver is
+    wired to one; a standalone receiver (tests) gets a private fresh
+    allocator by default.
+    [send] transmits acks on the (uncongested) return path.
     [schedule] is needed only when the config enables delayed acks
     (the delay timer must fire even if no further packet arrives);
     without it delayed-ack configs fall back to immediate acking. *)

@@ -16,6 +16,7 @@ type state = Closed | Syn_sent | Established | Complete | Failed
 type t = {
   sim : Sim.t;
   config : C.t;
+  alloc : Packet.alloc;  (* the network's packet-uid allocator *)
   flow : int;
   pool : int;
   mutable total : int;
@@ -56,12 +57,13 @@ type t = {
   mutable progress_listeners : (int -> unit) list;
 }
 
-let create ~sim ~config ~flow ?(pool = -1) ~total_segments
+let create ~sim ~config ~alloc ~flow ?(pool = -1) ~total_segments
     ?(close_on_drain = true) ~transmit ?(on_complete = fun _ -> ())
     ?(on_fail = fun _ -> ()) () =
   {
     sim;
     config;
+    alloc;
     flow;
     pool;
     total = total_segments;
@@ -204,7 +206,7 @@ let send_segment t ~seq ~retx =
   t.n_data_sent <- t.n_data_sent + 1;
   if retx then t.n_retx_sent <- t.n_retx_sent + 1;
   let pkt =
-    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Data ~seq
+    Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Data ~seq
       ~size:(C.packet_bytes t.config) ~retx ~sent_at:now ()
   in
   emit t pkt
@@ -268,8 +270,8 @@ let rec send_syn t =
   t.n_syn_sent <- t.n_syn_sent + 1;
   t.syn_sent_at <- Sim.now t.sim;
   let pkt =
-    Packet.make ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn ~seq:0
-      ~size:t.config.C.header_bytes ~sent_at:(Sim.now t.sim) ()
+    Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn
+      ~seq:0 ~size:t.config.C.header_bytes ~sent_at:(Sim.now t.sim) ()
   in
   emit t pkt;
   let delay =

@@ -26,6 +26,7 @@ type state = Closed | Syn_sent | Established | Complete | Failed
 val create :
   sim:Taq_engine.Sim.t ->
   config:Tcp_config.t ->
+  alloc:Taq_net.Packet.alloc ->
   flow:int ->
   ?pool:int ->
   total_segments:int ->

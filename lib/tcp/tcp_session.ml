@@ -9,22 +9,17 @@ type t = {
   mutable started_at : float;
 }
 
-let flow_counter = ref 0
-
-let next_flow_id () =
-  incr flow_counter;
-  !flow_counter
-
-let reset_flow_ids () = flow_counter := 0
-
 let create ~net ~config ?flow ?(pool = -1) ~rtt_prop ~total_segments
     ?(close_on_drain = true) ?(on_complete = fun _ -> ())
     ?(on_fail = fun _ -> ()) ?(unregister_on_complete = true) () =
-  let flow = match flow with Some f -> f | None -> next_flow_id () in
+  let flow =
+    match flow with Some f -> f | None -> Dumbbell.next_flow_id net
+  in
+  let alloc = Dumbbell.packet_alloc net in
   let sim = Dumbbell.sim net in
   let now () = Sim.now sim in
   let receiver =
-    Tcp_receiver.create ~flow ~pool ~config ~now
+    Tcp_receiver.create ~alloc ~flow ~pool ~config ~now
       ~send:(fun p -> Dumbbell.send_rev net p)
       ~schedule:(fun ~delay f -> ignore (Sim.schedule_after sim ~delay f))
       ()
@@ -34,7 +29,8 @@ let create ~net ~config ?flow ?(pool = -1) ~rtt_prop ~total_segments
     kont time
   in
   let sender =
-    Tcp_sender.create ~sim ~config ~flow ~pool ~total_segments ~close_on_drain
+    Tcp_sender.create ~sim ~config ~alloc ~flow ~pool ~total_segments
+      ~close_on_drain
       ~transmit:(fun p -> Dumbbell.send_fwd net p)
       ~on_complete:(finish on_complete) ~on_fail:(finish on_fail) ()
   in

@@ -5,11 +5,6 @@
 
 type t
 
-val next_flow_id : unit -> int
-(** Process-wide flow-id allocator (reset with {!reset_flow_ids}). *)
-
-val reset_flow_ids : unit -> unit
-
 val create :
   net:Taq_net.Dumbbell.t ->
   config:Tcp_config.t ->
@@ -23,7 +18,11 @@ val create :
   ?unregister_on_complete:bool ->
   unit ->
   t
-(** Registers the flow with the network. [on_complete] receives the
+(** Registers the flow with the network. When [flow] is omitted an id
+    is drawn from the network's own allocator
+    ({!Taq_net.Dumbbell.next_flow_id}) — ids are per-network, so
+    independent simulations can run concurrently in separate domains
+    without sharing any state. [on_complete] receives the
     completion time; when [unregister_on_complete] (default true) the
     flow is removed from the network afterwards so stray packets
     evaporate. [close_on_drain = false] keeps the connection open for

@@ -38,4 +38,7 @@ let to_string t =
     (List.rev t.rows);
   Buffer.contents buf
 
-let print ?(oc = stdout) t = output_string oc (to_string t)
+let print ?oc t =
+  match oc with
+  | Some oc -> output_string oc (to_string t)
+  | None -> Out.string (to_string t)

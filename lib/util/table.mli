@@ -15,8 +15,9 @@ val addf : t -> float list -> unit
 (** Append a row of floats formatted with [%.6g]. *)
 
 val print : ?oc:out_channel -> t -> unit
-(** Render with column alignment, header underline, to [oc] (default
-    stdout). *)
+(** Render with column alignment, header underline, to [oc]. When [oc]
+    is omitted the table goes through {!Out} — i.e. to stdout unless
+    the current domain's output is being captured. *)
 
 val to_string : t -> string
 

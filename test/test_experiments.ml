@@ -306,6 +306,31 @@ let test_registry_complete () =
     expected;
   Alcotest.(check bool) "unknown is None" true (Registry.find "nope" = None)
 
+(* Every registry target must run to completion at quick scale through
+   the capture path (the route the bench pool and the sweep harness
+   take) and produce some output. This is the whole-pipeline smoke
+   test: a target that raises, prints nothing, or bypasses the Out sink
+   fails here. *)
+let test_registry_targets_smoke () =
+  List.iter
+    (fun t ->
+      match Registry.capture t ~full:false with
+      | outcome ->
+          Alcotest.(check string)
+            (t.Registry.name ^ " outcome names its target")
+            t.Registry.name outcome.Registry.target;
+          Alcotest.(check bool)
+            (t.Registry.name ^ " recorded as quick scale")
+            false outcome.Registry.full;
+          Alcotest.(check bool)
+            (t.Registry.name ^ " produced output")
+            true
+            (String.length outcome.Registry.output > 0)
+      | exception e ->
+          Alcotest.failf "target %s raised: %s" t.Registry.name
+            (Printexc.to_string e))
+    Registry.targets
+
 let () =
   Alcotest.run "taq_experiments"
     [
@@ -335,5 +360,10 @@ let () =
       ("fig1", [ Alcotest.test_case "spread" `Slow test_fig1_spread ]);
       ("hangs", [ Alcotest.test_case "contention" `Slow test_hangs_contention_increases_hangs ]);
       ("ablations", [ Alcotest.test_case "structure" `Slow test_ablations_structure ]);
-      ("registry", [ Alcotest.test_case "complete" `Quick test_registry_complete ]);
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "all targets run at quick scale" `Slow
+            test_registry_targets_smoke;
+        ] );
     ]

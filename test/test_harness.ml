@@ -1,0 +1,330 @@
+(* Tests for taq_harness: the Domain pool (every task runs exactly
+   once, results stay input-ordered at jobs in {1,4}), deterministic
+   task-seed derivation, per-task output capture, the on-disk result
+   cache, and a qcheck property that parallel and sequential runs of
+   the same task list produce identical per-task outputs. *)
+
+module Task = Taq_harness.Task
+module Pool = Taq_harness.Pool
+module Capture = Taq_harness.Capture
+module Cache = Taq_harness.Cache
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Task: seed derivation ------------------------------------------------- *)
+
+let test_seed_deterministic () =
+  let s1 = Task.seed_of_key "sweep/droptail/cap=600000" in
+  let s2 = Task.seed_of_key "sweep/droptail/cap=600000" in
+  Alcotest.(check int) "same key, same seed" s1 s2
+
+let test_seed_distinct_keys () =
+  (* Not a guarantee in general, but these keys must not collide or
+     every sweep point would share randomness. *)
+  let keys =
+    [ "a"; "b"; "ab"; "ba"; "sweep/taq/rep=0"; "sweep/taq/rep=1"; "" ]
+  in
+  let seeds = List.map Task.seed_of_key keys in
+  let sorted = List.sort_uniq compare seeds in
+  Alcotest.(check int)
+    "distinct keys yield distinct seeds" (List.length keys)
+    (List.length sorted)
+
+let test_seed_non_negative () =
+  List.iter
+    (fun key ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed of %S non-negative" key)
+        true
+        (Task.seed_of_key key >= 0))
+    [ ""; "x"; "fig2"; String.make 1000 'z' ]
+
+let test_task_receives_derived_seed () =
+  let t = Task.make ~key:"probe" (fun ~seed -> seed) in
+  Alcotest.(check int)
+    "run passes seed_of_key" (Task.seed_of_key "probe") (Task.run t)
+
+(* --- Pool ------------------------------------------------------------------ *)
+
+let counting_tasks n counters =
+  List.init n (fun i ->
+      Task.make ~key:(Printf.sprintf "task-%d" i) (fun ~seed:_ ->
+          (* Atomic: tasks may run on several domains at once. *)
+          Atomic.incr counters.(i);
+          i * i))
+
+let test_pool_runs_each_task_once jobs () =
+  let n = 9 in
+  let counters = Array.init n (fun _ -> Atomic.make 0) in
+  let results = Pool.run ~jobs (counting_tasks n counters) in
+  Alcotest.(check int) "one result per task" n (List.length results);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "task %d ran exactly once" i)
+        1 (Atomic.get c))
+    counters;
+  List.iteri
+    (fun i r ->
+      Alcotest.(check string)
+        "results input-ordered"
+        (Printf.sprintf "task-%d" i)
+        r.Pool.key;
+      Alcotest.(check int) "value" (i * i) (Pool.value_exn r))
+    results
+
+let test_pool_empty () =
+  Alcotest.(check int) "no tasks, no results" 0
+    (List.length (Pool.run ~jobs:4 []))
+
+let test_pool_failure_isolated () =
+  let tasks =
+    [
+      Task.make ~key:"ok-1" (fun ~seed:_ -> 1);
+      Task.make ~key:"boom" (fun ~seed:_ -> failwith "deliberate");
+      Task.make ~key:"ok-2" (fun ~seed:_ -> 2);
+    ]
+  in
+  let results = Pool.run ~jobs:4 tasks in
+  (match results with
+  | [ a; b; c ] ->
+      Alcotest.(check int) "ok-1 value" 1 (Pool.value_exn a);
+      (match b.Pool.value with
+      | Error msg ->
+          Alcotest.(check bool)
+            "error mentions the exception" true
+            (contains ~needle:"deliberate" msg)
+      | Ok _ -> Alcotest.fail "failing task reported Ok");
+      Alcotest.(check int) "ok-2 value" 2 (Pool.value_exn c)
+  | _ -> Alcotest.fail "expected 3 results");
+  match results with
+  | [ _; b; _ ] -> (
+      match Pool.value_exn b with
+      | _ -> Alcotest.fail "value_exn on a failed task must raise"
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            "value_exn names the task and error" true
+            (contains ~needle:"boom" msg && contains ~needle:"deliberate" msg))
+  | _ -> ()
+
+let test_pool_on_done_progress () =
+  let n = 6 in
+  let seen = Atomic.make 0 in
+  let total_seen = ref 0 in
+  let _ =
+    Pool.run ~jobs:4
+      ~on_done:(fun ~completed:_ ~total r ->
+        (* on_done runs under the pool lock, so plain refs are fine
+           here, but keep the counter atomic for symmetry. *)
+        Atomic.incr seen;
+        total_seen := total;
+        ignore r.Pool.elapsed_s)
+      (List.init n (fun i ->
+           Task.make ~key:(string_of_int i) (fun ~seed:_ -> i)))
+  in
+  Alcotest.(check int) "on_done fired once per task" n (Atomic.get seen);
+  Alcotest.(check int) "total is task count" n !total_seen
+
+let test_pool_report_table () =
+  let results =
+    Pool.run ~jobs:1
+      [
+        Task.make ~key:"alpha" (fun ~seed:_ -> ());
+        Task.make ~key:"beta" (fun ~seed:_ -> failwith "x");
+      ]
+  in
+  let out =
+    let buf, () =
+      Capture.run (fun () -> Taq_util.Table.print (Pool.report results))
+    in
+    buf
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report mentions %s" needle)
+        true
+        (contains ~needle out))
+    [ "alpha"; "beta"; "total" ]
+
+(* --- Capture --------------------------------------------------------------- *)
+
+let test_capture_buffers_output () =
+  let out, v =
+    Capture.run (fun () ->
+        Capture.printf "hello %d" 42;
+        7)
+  in
+  Alcotest.(check string) "captured text" "hello 42" out;
+  Alcotest.(check int) "value passed through" 7 v
+
+let test_capture_nested_restores () =
+  let outer, () =
+    Capture.run (fun () ->
+        Capture.printf "before|";
+        let inner = Capture.text (fun () -> Capture.printf "inner") in
+        Alcotest.(check string) "inner isolated" "inner" inner;
+        Capture.printf "after")
+  in
+  Alcotest.(check string) "outer unaffected by nesting" "before|after" outer
+
+let test_capture_table_print_is_captured () =
+  let out =
+    Capture.text (fun () ->
+        let t = Taq_util.Table.create ~columns:[ "k"; "v" ] in
+        Taq_util.Table.add_row t [ "answer"; "42" ];
+        Taq_util.Table.print t)
+  in
+  Alcotest.(check bool)
+    "table rows routed to the capture buffer" true
+    (contains ~needle:"answer" out)
+
+(* --- Cache ----------------------------------------------------------------- *)
+
+let with_temp_cache f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taq-cache-test-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f (Cache.create ~dir ()))
+
+let test_cache_miss_then_hit () =
+  with_temp_cache (fun cache ->
+      let key = Cache.key ~parts:[ "sweep"; "droptail"; "cap=600000" ] in
+      Alcotest.(check (option string)) "empty cache" None
+        (Cache.find cache ~key);
+      let computed = ref 0 in
+      let status, data =
+        Cache.find_or_compute cache ~key (fun () ->
+            incr computed;
+            "payload")
+      in
+      Alcotest.(check bool) "first lookup is a miss" true (status = `Miss);
+      Alcotest.(check string) "computed payload" "payload" data;
+      let status2, data2 =
+        Cache.find_or_compute cache ~key (fun () ->
+            incr computed;
+            "recomputed!")
+      in
+      Alcotest.(check bool) "second lookup is a hit" true (status2 = `Hit);
+      Alcotest.(check string) "served from disk" "payload" data2;
+      Alcotest.(check int) "computed exactly once" 1 !computed;
+      Alcotest.(check int) "hit counter" 1 (Cache.hits cache);
+      Alcotest.(check int) "miss counter" 1 (Cache.misses cache))
+
+let test_cache_key_sensitivity () =
+  (* Every part matters, and concatenation cannot alias distinct
+     part lists. *)
+  let k parts = Cache.key ~parts in
+  Alcotest.(check bool)
+    "different param, different key" true
+    (k [ "sweep"; "cap=600000" ] <> k [ "sweep"; "cap=800000" ]);
+  Alcotest.(check bool)
+    "part boundaries matter" true
+    (k [ "ab"; "c" ] <> k [ "a"; "bc" ]);
+  Alcotest.(check string)
+    "key is stable" (k [ "x"; "y" ]) (k [ "x"; "y" ])
+
+let test_cache_store_roundtrip () =
+  with_temp_cache (fun cache ->
+      let key = Cache.key ~parts:[ "roundtrip" ] in
+      let payload = "line1\nline2\n\x00binary-ish\xff" in
+      Cache.store cache ~key payload;
+      Alcotest.(check (option string))
+        "find returns stored bytes verbatim" (Some payload)
+        (Cache.find cache ~key))
+
+(* --- property: parallel == sequential -------------------------------------- *)
+
+(* Tasks print a deterministic function of their key and seed into a
+   capture buffer; the pool must return those outputs byte-identical
+   and input-ordered no matter how many domains drained the queue. *)
+let output_tasks keys =
+  List.map
+    (fun key ->
+      Task.make ~key (fun ~seed ->
+          Capture.text (fun () ->
+              Capture.printf "key=%s seed=%d\n" key seed;
+              let prng = Taq_util.Prng.create ~seed in
+              for _ = 1 to 5 do
+                Capture.printf "%.6f " (Taq_util.Prng.float prng 1.0)
+              done)))
+    keys
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"pool: jobs=4 outputs identical to jobs=1" ~count:30
+    QCheck.(list_of_size Gen.(int_range 0 12) small_printable_string)
+    (fun raw_keys ->
+      (* Make keys unique: duplicate keys are legal but make the
+         comparison trivially flaky to express. *)
+      let keys =
+        List.mapi (fun i k -> Printf.sprintf "%d/%s" i k) raw_keys
+      in
+      let seq = Pool.run ~jobs:1 (output_tasks keys) in
+      let par = Pool.run ~jobs:4 (output_tasks keys) in
+      List.for_all2
+        (fun a b ->
+          a.Pool.key = b.Pool.key
+          && Pool.value_exn a = Pool.value_exn b)
+        seq par)
+
+(* --- suite ----------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "taq_harness"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "seed deterministic" `Quick
+            test_seed_deterministic;
+          Alcotest.test_case "seeds distinct" `Quick test_seed_distinct_keys;
+          Alcotest.test_case "seed non-negative" `Quick
+            test_seed_non_negative;
+          Alcotest.test_case "run passes derived seed" `Quick
+            test_task_receives_derived_seed;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "each task once (jobs=1)" `Quick
+            (test_pool_runs_each_task_once 1);
+          Alcotest.test_case "each task once (jobs=4)" `Quick
+            (test_pool_runs_each_task_once 4);
+          Alcotest.test_case "empty task list" `Quick test_pool_empty;
+          Alcotest.test_case "failure isolated" `Quick
+            test_pool_failure_isolated;
+          Alcotest.test_case "on_done progress" `Quick
+            test_pool_on_done_progress;
+          Alcotest.test_case "report table" `Quick test_pool_report_table;
+        ] );
+      ( "capture",
+        [
+          Alcotest.test_case "buffers output" `Quick
+            test_capture_buffers_output;
+          Alcotest.test_case "nested captures restore" `Quick
+            test_capture_nested_restores;
+          Alcotest.test_case "table print captured" `Quick
+            test_capture_table_print_is_captured;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+          Alcotest.test_case "store roundtrip" `Quick
+            test_cache_store_roundtrip;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_parallel_matches_sequential ] );
+    ]

@@ -11,6 +11,8 @@ module Loss_monitor = Taq_metrics.Loss_monitor
 module Sim = Taq_engine.Sim
 module Packet = Taq_net.Packet
 
+let alloc = Packet.alloc ()
+
 let checkf = Alcotest.(check (float 1e-9))
 
 (* --- Slicer ---------------------------------------------------------------- *)
@@ -211,7 +213,6 @@ let test_occupancy_counts_epochs () =
   let sim = Sim.create () in
   let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
   let net = Taq_net.Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
-  Taq_tcp.Tcp_session.reset_flow_ids ();
   let config = Taq_tcp.Tcp_config.make ~use_syn:false () in
   let session =
     Taq_tcp.Tcp_session.create ~net ~config ~rtt_prop:0.1
@@ -249,7 +250,7 @@ let test_loss_monitor_rates () =
          (* First starts transmitting, second queues, next two drop. *)
          for seq = 1 to 4 do
            Taq_net.Link.send link
-             (Packet.make ~flow:1 ~kind:Packet.Data ~seq ~size:100 ~sent_at:0.0 ())
+             (Packet.make ~alloc ~flow:1 ~kind:Packet.Data ~seq ~size:100 ~sent_at:0.0 ())
          done));
   Sim.run ~until:0.1 sim;
   (* Packet 1 is accepted and immediately begins transmission, packet 2
@@ -268,7 +269,7 @@ let test_loss_monitor_ignores_control () =
   ignore
     (Sim.schedule sim ~at:0.0 (fun () ->
          Taq_net.Link.send link
-           (Packet.make ~flow:1 ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ())));
+           (Packet.make ~alloc ~flow:1 ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ())));
   Sim.run ~until:0.1 sim;
   Alcotest.(check int) "syn drop not counted" 0 (Loss_monitor.drops lm)
 
@@ -295,7 +296,7 @@ let test_packet_log_records_lifecycle () =
             queue, #4 drops. *)
          for seq = 1 to 4 do
            Taq_net.Link.send link
-             (Packet.make ~flow:1 ~kind:Packet.Data ~seq ~size:500
+             (Packet.make ~alloc ~flow:1 ~kind:Packet.Data ~seq ~size:500
                 ~sent_at:0.0 ())
          done));
   Sim.run sim;
@@ -322,7 +323,7 @@ let test_packet_log_silence_gaps () =
       ignore
         (Sim.schedule sim ~at (fun () ->
              Taq_net.Link.send link
-               (Packet.make ~flow:7 ~kind:Packet.Data ~seq:1 ~size:500
+               (Packet.make ~alloc ~flow:7 ~kind:Packet.Data ~seq:1 ~size:500
                   ~sent_at:at ()))))
     [ 0.0; 10.0 ];
   Sim.run sim;
@@ -342,7 +343,7 @@ let test_packet_log_shut_down_fraction () =
       ignore
         (Sim.schedule sim ~at (fun () ->
              Taq_net.Link.send link
-               (Packet.make ~flow ~kind:Packet.Data ~seq:1 ~size:500
+               (Packet.make ~alloc ~flow ~kind:Packet.Data ~seq:1 ~size:500
                   ~sent_at:at ()))))
     [ (1.0, 1); (1.5, 2); (11.0, 1) ];
   Sim.run sim;
@@ -364,7 +365,7 @@ let test_packet_log_capacity_bound () =
     (Sim.schedule sim ~at:0.0 (fun () ->
          for seq = 1 to 50 do
            Taq_net.Link.send link
-             (Packet.make ~flow:1 ~kind:Packet.Data ~seq ~size:100 ~sent_at:0.0 ())
+             (Packet.make ~alloc ~flow:1 ~kind:Packet.Data ~seq ~size:100 ~sent_at:0.0 ())
          done));
   Sim.run sim;
   Alcotest.(check int) "bounded" 10 (Packet_log.count log);
@@ -375,7 +376,7 @@ let test_packet_log_csv () =
   ignore
     (Sim.schedule sim ~at:0.0 (fun () ->
          Taq_net.Link.send link
-           (Packet.make ~flow:1 ~kind:Packet.Data ~seq:1 ~size:500 ~sent_at:0.0 ())));
+           (Packet.make ~alloc ~flow:1 ~kind:Packet.Data ~seq:1 ~size:500 ~sent_at:0.0 ())));
   Sim.run sim;
   let path = Filename.temp_file "taq_pktlog" ".csv" in
   Fun.protect

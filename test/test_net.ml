@@ -5,19 +5,26 @@
 open Taq_net
 module Sim = Taq_engine.Sim
 
+(* One shared allocator for ad-hoc test packets: uids only need to be
+   unique within a test's queue/link, which this guarantees. *)
+let alloc = Packet.alloc ()
+
 let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 500) ?(kind = Packet.Data) () =
-  Packet.make ~flow ~kind ~seq ~size ~sent_at:0.0 ()
+  Packet.make ~alloc ~flow ~kind ~seq ~size ~sent_at:0.0 ()
 
 (* --- Packet ----------------------------------------------------------- *)
 
 let test_packet_uids_unique () =
-  Packet.reset_uid_counter ();
   let a = mk_pkt () and b = mk_pkt () in
-  Alcotest.(check bool) "uids differ" true (a.Packet.uid <> b.Packet.uid)
+  Alcotest.(check bool) "uids differ" true (a.Packet.uid <> b.Packet.uid);
+  (* Independent allocators are independent streams: a fresh one
+     restarts from 1 without perturbing ours. *)
+  let fresh = Packet.alloc () in
+  Alcotest.(check int) "fresh allocator starts at 1" 1 (Packet.fresh_uid fresh)
 
 let test_packet_fields () =
   let p =
-    Packet.make ~flow:7 ~pool:3 ~kind:Packet.Ack ~seq:42 ~size:40
+    Packet.make ~alloc ~flow:7 ~pool:3 ~kind:Packet.Ack ~seq:42 ~size:40
       ~sacks:[ (50, 52) ] ~sent_at:1.5 ()
   in
   Alcotest.(check int) "flow" 7 p.Packet.flow;

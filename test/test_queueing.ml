@@ -3,8 +3,10 @@
 open Taq_net
 open Taq_queueing
 
+let alloc = Packet.alloc ()
+
 let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 500) () =
-  Packet.make ~flow ~kind:Packet.Data ~seq ~size ~sent_at:0.0 ()
+  Packet.make ~alloc ~flow ~kind:Packet.Data ~seq ~size ~sent_at:0.0 ()
 
 (* --- Droptail ----------------------------------------------------------- *)
 

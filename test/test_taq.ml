@@ -14,11 +14,13 @@ module Tcp_session = Taq_tcp.Tcp_session
 module Tcp_receiver = Taq_tcp.Tcp_receiver
 module Tcp_sender = Taq_tcp.Tcp_sender
 
+let alloc = Packet.alloc ()
+
 let mk_data ?(flow = 1) ?(pool = -1) ?(seq = 0) ?(size = 500) () =
-  Packet.make ~flow ~pool ~kind:Packet.Data ~seq ~size ~sent_at:0.0 ()
+  Packet.make ~alloc ~flow ~pool ~kind:Packet.Data ~seq ~size ~sent_at:0.0 ()
 
 let mk_syn ?(flow = 1) ?(pool = -1) () =
-  Packet.make ~flow ~pool ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ()
+  Packet.make ~alloc ~flow ~pool ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ()
 
 (* --- Flow_state ----------------------------------------------------------- *)
 
@@ -181,7 +183,7 @@ let test_tracker_ignores_sender_retx_flag () =
      classify as new data. *)
   let t, _clock = tracker_fixture () in
   let p =
-    Packet.make ~flow:1 ~kind:Packet.Data ~seq:0 ~size:500 ~retx:true
+    Packet.make ~alloc ~flow:1 ~kind:Packet.Data ~seq:0 ~size:500 ~retx:true
       ~sent_at:0.0 ()
   in
   Alcotest.(check bool) "flag ignored" true
@@ -613,7 +615,6 @@ let test_disc_conservation () =
 (* --- Integration: TAQ vs droptail fairness --------------------------------------- *)
 
 let run_contention ~disc ~sim ~flows ~capacity_bps ~seconds =
-  Tcp_session.reset_flow_ids ();
   let net = Dumbbell.create ~sim ~capacity_bps ~disc () in
   let tcp = Tcp_config.make ~use_syn:false () in
   let slicer = Taq_metrics.Slicer.create ~slice:20.0 in
@@ -663,7 +664,6 @@ let test_taq_preserves_utilization () =
   let config = Taq_config.default ~capacity_pkts:20 ~capacity_bps in
   let t = Taq_disc.create ~sim ~config () in
   let net = Dumbbell.create ~sim ~capacity_bps ~disc:(Taq_disc.disc t) () in
-  Tcp_session.reset_flow_ids ();
   let tcp = Tcp_config.make ~use_syn:false () in
   for _ = 1 to 40 do
     Tcp_session.start
@@ -683,7 +683,6 @@ let test_taq_over_lossy_overlay () =
      virtual link (Overlay) conceals the underlay loss so TAQ's drop
      decisions remain the only losses. Flows over TAQ + overlay must
      complete despite a 15% raw underlay loss. *)
-  Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let config = Taq_config.default ~capacity_pkts:30 ~capacity_bps:400_000.0 in
   let taq = Taq_disc.create ~sim ~config () in
@@ -722,7 +721,6 @@ let test_taq_idle_persistent_flow_classified_idle () =
   (* A persistent connection that pauses between objects must read as
      Idle at the middlebox (Figure 7's dummy state), not as a timeout
      silence: it had no drops, it simply has nothing to send. *)
-  Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let config =
     {

@@ -94,8 +94,10 @@ let test_sb_next_lost_is_lowest () =
 
 (* --- Receiver ------------------------------------------------------------ *)
 
+let alloc = Packet.alloc ()
+
 let mk_data ~flow ~seq =
-  Packet.make ~flow ~kind:Packet.Data ~seq ~size:500 ~sent_at:0.0 ()
+  Packet.make ~alloc ~flow ~kind:Packet.Data ~seq ~size:500 ~sent_at:0.0 ()
 
 let make_receiver ?(variant = Tcp_config.Sack) () =
   (* SACK-speaking by default: several tests inspect the ack's SACK
@@ -162,7 +164,7 @@ let test_receiver_duplicate_counted () =
 let test_receiver_syn_ack () =
   let r, acks = make_receiver () in
   Tcp_receiver.on_packet r
-    (Packet.make ~flow:1 ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ());
+    (Packet.make ~alloc ~flow:1 ~kind:Packet.Syn ~seq:0 ~size:40 ~sent_at:0.0 ());
   match !acks with
   | [ p ] -> Alcotest.(check bool) "syn-ack" true (p.Packet.kind = Packet.Syn_ack)
   | _ -> Alcotest.fail "expected one syn-ack"
@@ -228,7 +230,6 @@ let test_receiver_delayed_ack_dups_immediate () =
 let scenario ?(capacity_bps = 1e6) ?(buffer_pkts = 100) ?(rtt = 0.1)
     ?(config = Tcp_config.default) ?(flows = 1) ?(segments = 50)
     ?(external_loss_p = 0.0) ?(seed = 1) () =
-  Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let disc = Taq_queueing.Droptail.create ~capacity_pkts:buffer_pkts in
   let net = Dumbbell.create ~sim ~capacity_bps ~disc () in

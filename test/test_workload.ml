@@ -116,7 +116,6 @@ let test_trace_csv_roundtrip () =
 (* --- Web_session ----------------------------------------------------------------- *)
 
 let session_fixture ?(capacity_bps = 1e6) ?(max_conns = 4) () =
-  Taq_tcp.Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
   let net = Dumbbell.create ~sim ~capacity_bps ~disc () in
@@ -171,7 +170,6 @@ let test_session_download_time_scales_with_size () =
 let test_session_feeds_hangs_recorder () =
   let sim, _ = session_fixture () in
   ignore sim;
-  Taq_tcp.Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
   let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
@@ -203,7 +201,6 @@ let test_session_fetch_accounting () =
 module Persistent_session = Taq_workload.Persistent_session
 
 let persistent_fixture ?(capacity_bps = 1e6) ?(conns = 2) () =
-  Taq_tcp.Tcp_session.reset_flow_ids ();
   let sim = Sim.create () in
   let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
   let net = Dumbbell.create ~sim ~capacity_bps ~disc () in
