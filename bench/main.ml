@@ -151,10 +151,17 @@ let write_bench_json ~path ~full ~jobs timings =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--full] [--jobs N] [TARGET...]\n\
+    "usage: main.exe [--full] [--jobs N] [--check[=GROUPS]] [TARGET...]\n\
      known targets: %s, micro\n"
     (String.concat ", " Registry.names);
   exit 2
+
+let enable_check spec =
+  match Taq_check.Check.groups_of_string spec with
+  | Ok groups -> Taq_check.Check.set_policy ~mode:Taq_check.Check.Raise ~groups ()
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
 
 let parse_args args =
   let full = ref false and jobs = ref 1 and names = ref [] in
@@ -162,6 +169,13 @@ let parse_args args =
     | [] -> ()
     | "--full" :: rest ->
         full := true;
+        go rest
+    | "--check" :: rest ->
+        enable_check "all";
+        go rest
+    | arg :: rest
+      when String.length arg > 8 && String.sub arg 0 8 = "--check=" ->
+        enable_check (String.sub arg 8 (String.length arg - 8));
         go rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with

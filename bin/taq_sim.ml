@@ -11,6 +11,33 @@
 open Cmdliner
 open Taq_experiments
 module Harness = Taq_harness
+module Check = Taq_check.Check
+
+(* --- invariant checking ------------------------------------------------ *)
+
+(* [--check] / [--check=GROUPS] installs the ambient invariant policy
+   before any simulation (or worker domain) starts; every Sim, Link,
+   Taq_disc and Tcp_sender created afterwards is instrumented. Raise
+   mode: the first violation aborts the run with a nonzero exit. *)
+let check_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "all") (some string) None
+    & info [ "check" ] ~docv:"GROUPS"
+        ~doc:
+          "Enable runtime invariant checking. $(docv) is a comma-separated \
+           subset of engine, net, queueing, tcp, core (default: all). The \
+           first violation aborts the run.")
+
+let setup_check spec =
+  match spec with
+  | None -> Ok false
+  | Some s -> (
+      match Check.groups_of_string s with
+      | Ok groups ->
+          Check.set_policy ~mode:Check.Raise ~groups ();
+          Ok true
+      | Error msg -> Error msg)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -25,18 +52,27 @@ let experiment_cmd =
   let full_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-fidelity parameters.")
   in
-  let run name full =
-    match Registry.find name with
-    | Some t ->
-        t.Registry.run ~full;
-        `Ok ()
-    | None ->
-        `Error
-          (false, Printf.sprintf "unknown experiment %S (known: %s)" name
-                    (String.concat ", " Registry.names))
+  let run name full check =
+    match setup_check check with
+    | Error msg -> `Error (false, msg)
+    | Ok enabled -> (
+        match Registry.find name with
+        | Some t -> (
+            try
+              t.Registry.run ~full;
+              if enabled then
+                Printf.eprintf "invariant checks: clean (experiment %s)\n" name;
+              `Ok ()
+            with Check.Violation msg ->
+              `Error (false, Printf.sprintf "invariant violation: %s" msg))
+        | None ->
+            `Error
+              (false, Printf.sprintf "unknown experiment %S (known: %s)" name
+                        (String.concat ", " Registry.names)))
   in
   let doc = "Reproduce one of the paper's figures" in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ name_arg $ full_arg))
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(ret (const run $ name_arg $ full_arg $ check_arg))
 
 (* --- sim ---------------------------------------------------------------- *)
 
@@ -98,7 +134,11 @@ let sim_cmd =
             "Record every enqueue/drop/delivery at the bottleneck and write \
              the packet log as CSV to $(docv).")
   in
-  let run queue capacity flows rtt duration buffer_rtts seed pcap =
+  let run queue capacity flows rtt duration buffer_rtts seed pcap check =
+   match setup_check check with
+   | Error msg -> `Error (false, msg)
+   | Ok check_enabled ->
+   (try
     let buffer_pkts =
       Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
     in
@@ -149,7 +189,7 @@ let sim_cmd =
       (Common.measured_loss_rate env);
     Printf.printf "  stalled-flow fraction:        %.3f\n"
       (Taq_metrics.Flow_evolution.stalled_fraction series);
-    match env.Common.taq with
+    (match env.Common.taq with
     | None -> ()
     | Some t ->
         let st = Taq_core.Taq_disc.stats t in
@@ -157,13 +197,18 @@ let sim_cmd =
           "  taq: enqueued=%d dropped=%d admission_rejected=%d forced_recovery=%d\n"
           st.Taq_core.Taq_disc.enqueued st.Taq_core.Taq_disc.dropped
           st.Taq_core.Taq_disc.admission_rejected
-          st.Taq_core.Taq_disc.forced_recovery_drops
+          st.Taq_core.Taq_disc.forced_recovery_drops);
+    if check_enabled then print_string (Check.report env.Common.check);
+    `Ok ()
+   with Check.Violation msg ->
+     `Error (false, Printf.sprintf "invariant violation: %s" msg))
   in
   let doc = "Ad-hoc dumbbell contention run" in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
-      const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts $ seed
-      $ pcap)
+      ret
+        (const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts
+       $ seed $ pcap $ check_arg))
 
 (* --- sweep ---------------------------------------------------------------- *)
 
@@ -261,9 +306,12 @@ let sweep_cmd =
       & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the cache.")
   in
   let run queues capacities fair_shares reps rtt duration buffer_rtts jobs
-      results_dir no_cache =
+      results_dir no_cache check =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else begin
+      match setup_check check with
+      | Error msg -> `Error (false, msg)
+      | Ok check_enabled ->
       let queue_tag = function
         | `Droptail -> "droptail"
         | `Red -> "red"
@@ -372,7 +420,12 @@ let sweep_cmd =
         results_dir;
       if !failures > 0 then
         `Error (false, Printf.sprintf "%d sweep point(s) failed" !failures)
-      else `Ok ()
+      else begin
+        if check_enabled then
+          Printf.printf "invariant checks: clean (%d computed point(s))\n"
+            !misses;
+        `Ok ()
+      end
     end
   in
   let doc = "Parameter-grid sweep on a Domain worker pool (with result cache)" in
@@ -380,7 +433,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
-       $ buffer_rtts $ jobs $ results_dir $ no_cache))
+       $ buffer_rtts $ jobs $ results_dir $ no_cache $ check_arg))
 
 (* --- model --------------------------------------------------------------- *)
 

@@ -1,0 +1,159 @@
+type group = Engine | Net | Queueing | Tcp | Core
+
+let all_groups = [ Engine; Net; Queueing; Tcp; Core ]
+let n_groups = 5
+
+let index = function
+  | Engine -> 0
+  | Net -> 1
+  | Queueing -> 2
+  | Tcp -> 3
+  | Core -> 4
+
+let bit g = 1 lsl index g
+
+let group_name = function
+  | Engine -> "engine"
+  | Net -> "net"
+  | Queueing -> "queueing"
+  | Tcp -> "tcp"
+  | Core -> "core"
+
+let group_of_string = function
+  | "engine" -> Some Engine
+  | "net" -> Some Net
+  | "queueing" -> Some Queueing
+  | "tcp" -> Some Tcp
+  | "core" -> Some Core
+  | _ -> None
+
+let groups_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "all" -> Ok all_groups
+  | s ->
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match group_of_string p with
+        | Some g -> go (g :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown check group %S (expected all, engine, net, queueing, \
+                tcp, core)"
+               p))
+    in
+    go [] parts
+
+type mode = Raise | Count
+
+exception Violation of string
+
+let max_messages = 64
+
+type t = {
+  mask : int;
+  mode : mode;
+  checks : int array;
+  violations : int array;
+  mutable messages : string list; (* newest first, capped *)
+  mutable n_messages : int;
+}
+
+let make_state mask mode =
+  {
+    mask;
+    mode;
+    checks = Array.make n_groups 0;
+    violations = Array.make n_groups 0;
+    messages = [];
+    n_messages = 0;
+  }
+
+let off = make_state 0 Count
+
+let mask_of_groups groups = List.fold_left (fun m g -> m lor bit g) 0 groups
+
+let create ?(mode = Raise) ?(groups = all_groups) () =
+  make_state (mask_of_groups groups) mode
+
+let[@inline] on t g = t.mask land bit g <> 0
+
+let record_violation t g msg =
+  t.violations.(index g) <- t.violations.(index g) + 1;
+  if t.n_messages < max_messages then begin
+    t.messages <- msg :: t.messages;
+    t.n_messages <- t.n_messages + 1
+  end;
+  match t.mode with Raise -> raise (Violation msg) | Count -> ()
+
+let violation t g msg =
+  if on t g then begin
+    t.checks.(index g) <- t.checks.(index g) + 1;
+    record_violation t g (Printf.sprintf "[%s] %s" (group_name g) msg)
+  end
+
+let require t g cond msg =
+  if on t g then begin
+    t.checks.(index g) <- t.checks.(index g) + 1;
+    if not cond then
+      record_violation t g (Printf.sprintf "[%s] %s" (group_name g) (msg ()))
+  end
+
+let checks_run t g = t.checks.(index g)
+let violations t g = t.violations.(index g)
+let total_checks t = Array.fold_left ( + ) 0 t.checks
+let total_violations t = Array.fold_left ( + ) 0 t.violations
+let messages t = List.rev t.messages
+
+let report t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "invariant checks:\n";
+  List.iter
+    (fun g ->
+      if on t g || checks_run t g > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "  %-9s %8d checks  %4d violations\n" (group_name g)
+             (checks_run t g) (violations t g)))
+    all_groups;
+  Buffer.add_string b
+    (Printf.sprintf "  total     %8d checks  %4d violations\n" (total_checks t)
+       (total_violations t));
+  List.iter (fun m -> Buffer.add_string b (Printf.sprintf "  ! %s\n" m))
+    (messages t);
+  Buffer.contents b
+
+let merge_into ~dst t =
+  for i = 0 to n_groups - 1 do
+    dst.checks.(i) <- dst.checks.(i) + t.checks.(i);
+    dst.violations.(i) <- dst.violations.(i) + t.violations.(i)
+  done;
+  List.iter
+    (fun m ->
+      if dst.n_messages < max_messages then begin
+        dst.messages <- m :: dst.messages;
+        dst.n_messages <- dst.n_messages + 1
+      end)
+    (messages t)
+
+(* Ambient policy: a write-once process-wide (mask, mode) pair. We use an
+   Atomic (not Domain.DLS) so policy installed on the main domain before
+   [Harness.Pool] spawns workers is visible inside those workers. The
+   mutable counter state stays per-instance, so concurrent domains never
+   share arrays. *)
+
+let policy : (int * mode) option Atomic.t = Atomic.make None
+
+let set_policy ?(mode = Raise) ~groups () =
+  Atomic.set policy (Some (mask_of_groups groups, mode))
+
+let policy_enabled () = Atomic.get policy <> None
+
+let ambient () =
+  match Atomic.get policy with
+  | None -> off
+  | Some (mask, mode) -> make_state mask mode

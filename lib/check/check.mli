@@ -1,0 +1,82 @@
+(** Runtime invariant-checking layer.
+
+    A {!t} is a set of toggleable check groups plus per-group counters.
+    Instrumented modules hold a [t] (threaded through their [create]
+    functions, defaulting to {!ambient}) and guard every hook site with
+    {!on}, so a disabled group costs a single [land] + compare and
+    writes nothing — zero-cost when off, and domain-safe because all
+    mutable state lives in the instance, not in globals.
+
+    Policy (which groups are enabled, and whether a violation raises or
+    is merely counted) may be installed process-wide with {!set_policy}
+    before any domains are spawned; {!ambient} then manufactures
+    instances obeying that policy anywhere in the stack without
+    plumbing changes. *)
+
+type group =
+  | Engine     (** clock monotonicity, event-heap ordering *)
+  | Net        (** per-link packet/byte conservation *)
+  | Queueing   (** qdisc occupancy / byte-count consistency *)
+  | Tcp        (** cwnd/ssthresh floors, scoreboard, SACK blocks, RTO bounds *)
+  | Core       (** TAQ class accounting, flow tracker vs admission *)
+
+val all_groups : group list
+val group_name : group -> string
+
+val groups_of_string : string -> (group list, string) result
+(** Parse a comma-separated group list, e.g. ["net,tcp"]. ["all"]
+    (or [""]) means every group. *)
+
+type mode =
+  | Raise  (** first violation raises {!Violation} *)
+  | Count  (** violations are counted and their messages retained *)
+
+exception Violation of string
+
+type t
+
+val off : t
+(** The shared disabled instance: every group off, never mutated. *)
+
+val create : ?mode:mode -> ?groups:group list -> unit -> t
+(** Fresh instance with the given groups enabled (default: all) and
+    the given failure mode (default: [Raise]). *)
+
+val on : t -> group -> bool
+(** [on t g] — the zero-cost guard. Branch on this before doing any
+    work to evaluate an invariant. *)
+
+val require : t -> group -> bool -> (unit -> string) -> unit
+(** [require t g cond msg] records one check for group [g]; if [cond]
+    is false, records a violation with [msg ()] (raising in [Raise]
+    mode). No-op when group [g] is off. *)
+
+val violation : t -> group -> string -> unit
+(** Record a violation directly (counts a check too). No-op when off. *)
+
+val checks_run : t -> group -> int
+val violations : t -> group -> int
+val total_checks : t -> int
+val total_violations : t -> int
+
+val messages : t -> string list
+(** Retained violation messages, oldest first (capped). *)
+
+val report : t -> string
+(** Human-readable per-group summary, e.g. for [taq_sim run --check]. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold [t]'s counters and messages into [dst] (for aggregating
+    per-worker instances after a parallel sweep). *)
+
+(** {1 Ambient policy} *)
+
+val set_policy : ?mode:mode -> groups:group list -> unit -> unit
+(** Install the process-wide policy consulted by {!ambient}. Intended
+    to be called once, from the CLI, before any domains spawn. *)
+
+val policy_enabled : unit -> bool
+
+val ambient : unit -> t
+(** A fresh instance obeying the installed policy, or {!off} when no
+    policy is installed. *)

@@ -1,6 +1,7 @@
 module Sim = Taq_engine.Sim
 module Packet = Taq_net.Packet
 module Disc = Taq_net.Disc
+module Check = Taq_check.Check
 
 let log_src = Logs.Src.create "taq" ~doc:"TAQ middlebox decisions"
 
@@ -26,6 +27,8 @@ type t = {
   mutable n_admission_rejected : int;
   mutable n_forced_recovery : int;
   drop_counts : (Taq_queues.class_, int) Hashtbl.t;
+  check : Check.t;
+  chk_pools : (int, unit) Hashtbl.t;  (* pool keys seen, check-only *)
 }
 
 (* Scheduling rank used only to decide push-out: an arrival may evict a
@@ -37,9 +40,12 @@ let rank = function
       1
   | Taq_queues.Above_fair_share -> 2
 
-let create ~sim ~config () =
+let create ?check ~sim ~config () =
+  let check = match check with Some c -> c | None -> Sim.check sim in
   let now () = Sim.now sim in
   {
+    check;
+    chk_pools = Hashtbl.create 16;
     sim;
     config;
     tracker = Flow_tracker.create ~config ~now;
@@ -55,6 +61,59 @@ let create ~sim ~config () =
     n_forced_recovery = 0;
     drop_counts = Hashtbl.create 8;
   }
+
+(* TAQ accounting invariants: the aggregate packet/byte counters must
+   equal the sums over the five class queues, occupancy must respect
+   the configured buffer, the recovery queue must stay priority-sorted,
+   and tracker/admission entry counts must stay within what has been
+   observed. Verified after every enqueue and dequeue when the [Core]
+   group is enabled. *)
+let verify t ~where =
+  let c = t.check in
+  let q = t.queues in
+  let sum_len =
+    List.fold_left
+      (fun acc cls -> acc + Taq_queues.class_length q cls)
+      0 Taq_queues.all_classes
+  and sum_bytes =
+    List.fold_left
+      (fun acc cls -> acc + Taq_queues.class_bytes q cls)
+      0 Taq_queues.all_classes
+  and total = Taq_queues.total_packets q
+  and total_bytes = Taq_queues.total_bytes q in
+  Check.require c Check.Core (sum_len = total) (fun () ->
+      Printf.sprintf "%s: class occupancy sum %d <> total_packets %d" where
+        sum_len total);
+  Check.require c Check.Core (sum_bytes = total_bytes) (fun () ->
+      Printf.sprintf "%s: class byte sum %d <> total_bytes %d" where sum_bytes
+        total_bytes);
+  Check.require c Check.Core
+    (0 <= total && total <= t.config.Taq_config.capacity_pkts)
+    (fun () ->
+      Printf.sprintf "%s: occupancy %d outside [0,%d]" where total
+        t.config.Taq_config.capacity_pkts);
+  Check.require c Check.Core
+    ((total = 0) = (total_bytes = 0))
+    (fun () ->
+      Printf.sprintf "%s: packets/bytes disagree on emptiness: %d pkts %d \
+                      bytes"
+        where total total_bytes);
+  Check.require c Check.Core (Taq_queues.recovery_sorted q) (fun () ->
+      Printf.sprintf "%s: recovery queue priorities out of order" where);
+  let active = Flow_tracker.active_flow_count t.tracker
+  and tracked = Flow_tracker.tracked_flow_count t.tracker in
+  Check.require c Check.Core (active <= tracked) (fun () ->
+      Printf.sprintf "%s: active flows %d > tracked flows %d" where active
+        tracked);
+  Option.iter
+    (fun a ->
+      let known = Admission.admitted_count a + Admission.waiting_count a in
+      let seen = Hashtbl.length t.chk_pools in
+      Check.require c Check.Core (known <= seen) (fun () ->
+          Printf.sprintf
+            "%s: admission knows %d pools but only %d SYN pool keys seen" where
+            known seen))
+    t.admission
 
 let lazy_tick t =
   let now = Sim.now t.sim in
@@ -191,18 +250,27 @@ let enqueue_data t (p : Packet.t) =
 
 let enqueue t (p : Packet.t) =
   lazy_tick t;
-  match p.kind with
-  | Packet.Syn -> enqueue_syn t p
-  | Packet.Data -> enqueue_data t p
-  | Packet.Ack | Packet.Syn_ack | Packet.Fin ->
-      (* Control traffic on the forward path is rare in the evaluated
-         topologies; queue it with normal priority, exempt from flow
-         tracking. *)
-      enqueue_with_pushout t p Taq_queues.Below_fair_share ~priority:0.0
+  let drops =
+    match p.kind with
+    | Packet.Syn ->
+        if Check.on t.check Check.Core then
+          Hashtbl.replace t.chk_pools (pool_key p) ();
+        enqueue_syn t p
+    | Packet.Data -> enqueue_data t p
+    | Packet.Ack | Packet.Syn_ack | Packet.Fin ->
+        (* Control traffic on the forward path is rare in the evaluated
+           topologies; queue it with normal priority, exempt from flow
+           tracking. *)
+        enqueue_with_pushout t p Taq_queues.Below_fair_share ~priority:0.0
+  in
+  if Check.on t.check Check.Core then verify t ~where:"enqueue";
+  drops
 
 let dequeue t =
   lazy_tick t;
-  Taq_queues.dequeue t.queues
+  let r = Taq_queues.dequeue t.queues in
+  if Check.on t.check Check.Core then verify t ~where:"dequeue";
+  r
 
 let disc t =
   {

@@ -20,7 +20,16 @@ type stats = {
   drops_by_class : (Taq_queues.class_ * int) list;
 }
 
-val create : sim:Taq_engine.Sim.t -> config:Taq_config.t -> unit -> t
+val create :
+  ?check:Taq_check.Check.t ->
+  sim:Taq_engine.Sim.t ->
+  config:Taq_config.t ->
+  unit ->
+  t
+(** [check] defaults to the simulator's checker; the [Core] group
+    verifies class-sum vs aggregate packet/byte accounting, buffer
+    occupancy bounds, recovery-queue ordering, and flow-tracker /
+    admission entry counts after every operation. *)
 
 val disc : t -> Taq_net.Disc.t
 (** The discipline to install on a {!Taq_net.Link}. *)

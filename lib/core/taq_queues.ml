@@ -90,12 +90,39 @@ let enqueue t cls ?(priority = 0.0) p =
   | Below_fair_share -> Deque.push_back t.below p
   | Above_fair_share -> Deque.push_back t.above p
 
+let all_classes =
+  [ Recovery; New_flow; Over_penalized; Below_fair_share; Above_fair_share ]
+
 let class_length t = function
   | Recovery -> List.length t.recovery
   | New_flow -> Deque.length t.new_flow
   | Over_penalized -> Deque.length t.over_penalized
   | Below_fair_share -> Deque.length t.below
   | Above_fair_share -> Deque.length t.above
+
+let class_bytes t cls =
+  match cls with
+  | Recovery ->
+      List.fold_left (fun acc (_, p) -> acc + p.Packet.size) 0 t.recovery
+  | New_flow | Over_penalized | Below_fair_share | Above_fair_share ->
+      let dq =
+        match cls with
+        | New_flow -> t.new_flow
+        | Over_penalized -> t.over_penalized
+        | Below_fair_share -> t.below
+        | Above_fair_share -> t.above
+        | Recovery -> assert false
+      in
+      let sum = ref 0 in
+      Deque.iter (fun (p : Packet.t) -> sum := !sum + p.size) dq;
+      !sum
+
+let recovery_sorted t =
+  let rec go = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a >= b && go rest
+    | [ _ ] | [] -> true
+  in
+  go t.recovery
 
 let total_packets t = t.packets
 

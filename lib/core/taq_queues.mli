@@ -25,6 +25,9 @@ type class_ =
 
 val class_to_string : class_ -> string
 
+val all_classes : class_ list
+(** Every class, in scheduler-priority order. *)
+
 type t
 
 val create : config:Taq_config.t -> now:(unit -> float) -> t
@@ -43,6 +46,15 @@ val total_packets : t -> int
 val total_bytes : t -> int
 
 val class_length : t -> class_ -> int
+
+val class_bytes : t -> class_ -> int
+(** Byte total of one class, computed by walking the class queue —
+    O(queue length); intended for invariant checking against
+    {!total_bytes}, not for hot paths. *)
+
+val recovery_sorted : t -> bool
+(** Whether the Recovery queue's priorities are non-increasing (they
+    must be, by construction) — for invariant checking. *)
 
 val select_victim : t -> class_ option
 (** The class a push-out drop should come from: AboveFairShare first,

@@ -1,10 +1,20 @@
+module Check = Taq_check.Check
+
 type handle = { mutable cancelled : bool; mutable fired : bool }
 
 type event = { h : handle; action : unit -> unit }
 
-type t = { mutable clock : float; calendar : event Event_heap.t }
+type t = {
+  mutable clock : float;
+  calendar : event Event_heap.t;
+  check : Check.t;
+}
 
-let create () = { clock = 0.0; calendar = Event_heap.create () }
+let create ?check () =
+  let check = match check with Some c -> c | None -> Check.ambient () in
+  { clock = 0.0; calendar = Event_heap.create (); check }
+
+let check t = t.check
 
 let now t = t.clock
 
@@ -28,6 +38,19 @@ let step t =
   match Event_heap.pop t.calendar with
   | None -> false
   | Some (time, ev) ->
+      if Check.on t.check Check.Engine then begin
+        Check.require t.check Check.Engine (time >= t.clock) (fun () ->
+            Printf.sprintf "clock went backwards: popped t=%g < now=%g" time
+              t.clock);
+        (* Heap order: nothing still queued may precede the event we
+           just popped. *)
+        match Event_heap.peek_time t.calendar with
+        | Some next ->
+            Check.require t.check Check.Engine (next >= time) (fun () ->
+                Printf.sprintf
+                  "event heap disorder: popped t=%g but head is t=%g" time next)
+        | None -> ()
+      end;
       t.clock <- time;
       if not ev.h.cancelled then begin
         ev.h.fired <- true;

@@ -11,8 +11,14 @@ type handle
 (** A scheduled event, usable for cancellation (e.g. TCP retransmission
     timers that are re-armed on every ACK). *)
 
-val create : unit -> t
-(** A simulator with the clock at 0. *)
+val create : ?check:Taq_check.Check.t -> unit -> t
+(** A simulator with the clock at 0. [check] (default
+    [Taq_check.Check.ambient ()]) enables the [Engine] invariant group:
+    clock monotonicity and event heap ordering verified on every
+    {!step}. *)
+
+val check : t -> Taq_check.Check.t
+(** The invariant checker this simulator was created with. *)
 
 val now : t -> float
 (** Current simulation time in seconds. *)

@@ -6,6 +6,7 @@ module Tcp_receiver = Taq_tcp.Tcp_receiver
 module Tcp_sender = Taq_tcp.Tcp_sender
 module Taq_config = Taq_core.Taq_config
 module Taq_disc = Taq_core.Taq_disc
+module Check = Taq_check.Check
 
 type queue = Droptail | Red | Sfq | Drr | Taq of Taq_config.t
 
@@ -24,6 +25,7 @@ type env = {
   slicer : Taq_metrics.Slicer.t;
   evolution : Taq_metrics.Flow_evolution.t;
   prng : Taq_util.Prng.t;
+  check : Check.t;
 }
 
 let pkt_bytes = 500
@@ -35,9 +37,12 @@ let taq_config ?(admission = false) ~capacity_bps ~buffer_pkts () =
     Taq_config.with_admission ~capacity_pkts:buffer_pkts ~capacity_bps
   else Taq_config.default ~capacity_pkts:buffer_pkts ~capacity_bps
 
-let make_env ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
+let make_env ?check ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     ?(evolution_window = 5.0) ?(seed = 1) () =
-  let sim = Sim.create () in
+  (* One checker per environment: the simulator, link, TAQ middlebox and
+     every TCP sender share it, so counters aggregate in one place. *)
+  let check = match check with Some c -> c | None -> Check.ambient () in
+  let sim = Sim.create ~check () in
   let prng = Taq_util.Prng.create ~seed in
   let taq = ref None in
   let disc =
@@ -50,11 +55,15 @@ let make_env ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     | Sfq -> Taq_queueing.Sfq.create ~capacity_pkts:buffer_pkts ()
     | Drr -> Taq_queueing.Drr.create ~capacity_pkts:buffer_pkts ()
     | Taq config ->
-        let t = Taq_disc.create ~sim ~config () in
+        let t = Taq_disc.create ~check ~sim ~config () in
         taq := Some t;
         Taq_disc.disc t
   in
-  let net = Dumbbell.create ~sim ~capacity_bps ~disc () in
+  (* Shadow-model cross-checking of whichever discipline is installed
+     (including TAQ itself) when the Queueing group is on; [wrap]
+     returns [disc] unchanged otherwise. *)
+  let disc = Taq_queueing.Checked.wrap ~check disc in
+  let net = Dumbbell.create ~check ~sim ~capacity_bps ~disc () in
   let loss = Taq_metrics.Loss_monitor.attach (Dumbbell.link net) in
   {
     sim;
@@ -64,6 +73,7 @@ let make_env ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     slicer = Taq_metrics.Slicer.create ~slice;
     evolution = Taq_metrics.Flow_evolution.create ~window:evolution_window;
     prng;
+    check;
   }
 
 let instrument env session =

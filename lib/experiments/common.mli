@@ -20,9 +20,13 @@ type env = {
   slicer : Taq_metrics.Slicer.t;
   evolution : Taq_metrics.Flow_evolution.t;
   prng : Taq_util.Prng.t;
+  check : Taq_check.Check.t;
+      (** the env-wide invariant checker (shared by sim, link, queue
+          and TCP senders) *)
 }
 
 val make_env :
+  ?check:Taq_check.Check.t ->
   queue:queue ->
   capacity_bps:float ->
   buffer_pkts:int ->
@@ -34,7 +38,10 @@ val make_env :
 (** A fresh simulator, dumbbell and recorders. The env is fully
     self-contained — flow ids and packet uids are allocated by the
     env's own network, so independent envs can run concurrently in
-    separate domains. *)
+    separate domains. [check] (default [Taq_check.Check.ambient ()])
+    instruments every layer; when the Queueing group is enabled the
+    installed discipline is additionally wrapped in
+    {!Taq_queueing.Checked} shadow-model cross-checking. *)
 
 val taq_config :
   ?admission:bool -> capacity_bps:float -> buffer_pkts:int -> unit ->

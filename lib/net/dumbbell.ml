@@ -20,14 +20,20 @@ type t = {
    which keeps SYNs reaching an admission-controlling queue quickly. *)
 let fwd_share = 0.25
 
-let create ~sim ~capacity_bps ?(link_delay = 0.0) ~disc () =
+let create ?check ~sim ~capacity_bps ?(link_delay = 0.0) ~disc () =
+  (* By default the link shares the simulator's checker, so one
+     instance aggregates counters for the whole network. *)
+  let check = match check with Some c -> c | None -> Sim.check sim in
   let flows = Hashtbl.create 64 in
   let deliver p =
     match Hashtbl.find_opt flows p.Packet.flow with
     | None -> () (* flow finished; late packet evaporates *)
     | Some ep -> ep.deliver_fwd p
   in
-  let link = Link.create ~sim ~capacity_bps ~prop_delay:link_delay ~disc ~deliver in
+  let link =
+    Link.create ~check ~sim ~capacity_bps ~prop_delay:link_delay ~disc ~deliver
+      ()
+  in
   { sim; link; flows; alloc = Packet.alloc (); next_flow = 0 }
 
 let register_flow t ~flow ~rtt_prop ~deliver_fwd ~deliver_rev =

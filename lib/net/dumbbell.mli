@@ -12,6 +12,7 @@
 type t
 
 val create :
+  ?check:Taq_check.Check.t ->
   sim:Taq_engine.Sim.t ->
   capacity_bps:float ->
   ?link_delay:float ->
@@ -19,7 +20,9 @@ val create :
   unit ->
   t
 (** [link_delay] is the bottleneck's own propagation delay (default
-    0; per-flow delays are given at {!register_flow}). *)
+    0; per-flow delays are given at {!register_flow}). [check] defaults
+    to the simulator's checker ([Taq_engine.Sim.check sim]) and is
+    handed to the bottleneck {!Link} for conservation checking. *)
 
 val register_flow :
   t ->

@@ -1,4 +1,5 @@
 module Sim = Taq_engine.Sim
+module Check = Taq_check.Check
 
 type stats = {
   offered : int;
@@ -23,10 +24,19 @@ type t = {
   mutable drop_listeners : (Packet.t -> unit) list;
   mutable enqueue_listeners : (Packet.t -> unit) list;
   mutable deliver_listeners : (Packet.t -> unit) list;
+  (* Conservation bookkeeping, maintained only when the [Net] check
+     group is enabled. *)
+  check : Check.t;
+  mutable chk_accepted : int;
+  mutable chk_bytes_accepted : int;
+  mutable chk_pushout : int;
+  mutable chk_bytes_pushout : int;
+  mutable chk_tx_size : int;  (** size of the packet on the wire, if busy *)
 }
 
-let create ~sim ~capacity_bps ~prop_delay ~disc ~deliver =
+let create ?check ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
   if capacity_bps <= 0.0 then invalid_arg "Link.create: capacity";
+  let check = match check with Some c -> c | None -> Check.ambient () in
   {
     sim;
     capacity_bps;
@@ -42,7 +52,45 @@ let create ~sim ~capacity_bps ~prop_delay ~disc ~deliver =
     drop_listeners = [];
     enqueue_listeners = [];
     deliver_listeners = [];
+    check;
+    chk_accepted = 0;
+    chk_bytes_accepted = 0;
+    chk_pushout = 0;
+    chk_bytes_pushout = 0;
+    chk_tx_size = 0;
   }
+
+(* Packet conservation: every packet accepted into the queue is either
+   fully transmitted, on the wire right now, evicted by a push-out
+   discipline, or still queued — and the same must hold for bytes. *)
+let verify_conservation t ~where =
+  let qlen = t.disc.Disc.length () in
+  let qbytes = t.disc.Disc.bytes () in
+  Check.require t.check Check.Net (qlen >= 0 && qbytes >= 0) (fun () ->
+      Printf.sprintf "%s: negative queue state len=%d bytes=%d" where qlen
+        qbytes);
+  Check.require t.check Check.Net
+    ((qlen = 0) = (qbytes = 0))
+    (fun () ->
+      Printf.sprintf "%s: queue len/bytes disagree on emptiness len=%d bytes=%d"
+        where qlen qbytes);
+  let in_tx = if t.busy then 1 else 0 in
+  let lhs = t.chk_accepted in
+  let rhs = t.transmitted + in_tx + t.chk_pushout + qlen in
+  Check.require t.check Check.Net (lhs = rhs) (fun () ->
+      Printf.sprintf
+        "%s: packet conservation broken: accepted=%d <> transmitted=%d + \
+         in_tx=%d + pushout=%d + queued=%d"
+        where t.chk_accepted t.transmitted in_tx t.chk_pushout qlen);
+  let in_tx_bytes = if t.busy then t.chk_tx_size else 0 in
+  let blhs = t.chk_bytes_accepted in
+  let brhs = t.bytes_transmitted + in_tx_bytes + t.chk_bytes_pushout + qbytes in
+  Check.require t.check Check.Net (blhs = brhs) (fun () ->
+      Printf.sprintf
+        "%s: byte conservation broken: accepted=%d <> transmitted=%d + \
+         in_tx=%d + pushout=%d + queued=%d"
+        where t.chk_bytes_accepted t.bytes_transmitted in_tx_bytes
+        t.chk_bytes_pushout qbytes)
 
 let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
 
@@ -58,6 +106,7 @@ let rec start_transmission t =
     | None -> ()
     | Some p ->
         t.busy <- true;
+        if Check.on t.check Check.Net then t.chk_tx_size <- p.Packet.size;
         let dt = tx_time t p in
         ignore
           (Sim.schedule_after t.sim ~delay:dt (fun () ->
@@ -65,6 +114,8 @@ let rec start_transmission t =
                t.transmitted <- t.transmitted + 1;
                t.bytes_transmitted <- t.bytes_transmitted + p.Packet.size;
                t.busy_time <- t.busy_time +. dt;
+               if Check.on t.check Check.Net then
+                 verify_conservation t ~where:"tx-complete";
                ignore
                  (Sim.schedule_after t.sim ~delay:t.prop_delay (fun () ->
                       List.iter (fun f -> f p) t.deliver_listeners;
@@ -80,8 +131,24 @@ let send t p =
   List.iter (fun d -> List.iter (fun f -> f d) t.drop_listeners) dropped;
   (* The offered packet was accepted iff it is not among the drops. *)
   let accepted = not (List.exists (fun d -> d.Packet.uid = p.Packet.uid) dropped) in
+  if Check.on t.check Check.Net then begin
+    if accepted then begin
+      t.chk_accepted <- t.chk_accepted + 1;
+      t.chk_bytes_accepted <- t.chk_bytes_accepted + p.Packet.size
+    end;
+    (* Drops other than the offered packet are push-out victims that
+       previously entered the queue. *)
+    List.iter
+      (fun (d : Packet.t) ->
+        if d.uid <> p.Packet.uid then begin
+          t.chk_pushout <- t.chk_pushout + 1;
+          t.chk_bytes_pushout <- t.chk_bytes_pushout + d.size
+        end)
+      dropped
+  end;
   if accepted then List.iter (fun f -> f p) t.enqueue_listeners;
-  start_transmission t
+  start_transmission t;
+  if Check.on t.check Check.Net then verify_conservation t ~where:"send"
 
 let stats t =
   {

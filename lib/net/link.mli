@@ -17,14 +17,19 @@ type stats = {
 }
 
 val create :
+  ?check:Taq_check.Check.t ->
   sim:Taq_engine.Sim.t ->
   capacity_bps:float ->
   prop_delay:float ->
   disc:Disc.t ->
   deliver:(Packet.t -> unit) ->
+  unit ->
   t
 (** [deliver] is called when a packet finishes transmission and
-    propagation. *)
+    propagation. [check] (default [Taq_check.Check.ambient ()]) enables
+    the [Net] group: packet and byte conservation
+    ([accepted = transmitted + on_wire + pushed_out + queued]) verified
+    after every send and transmission completion. *)
 
 val send : t -> Packet.t -> unit
 (** Offer a packet to the discipline (and kick the transmitter). *)

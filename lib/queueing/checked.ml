@@ -1,0 +1,84 @@
+module Check = Taq_check.Check
+module Disc = Taq_net.Disc
+module Packet = Taq_net.Packet
+
+type model = {
+  queued : (int, int) Hashtbl.t; (* uid -> size *)
+  mutable pkts : int;
+  mutable bytes : int;
+}
+
+let verify check (inner : Disc.t) m ~op =
+  let len = inner.Disc.length () in
+  let bytes = inner.Disc.bytes () in
+  Check.require check Check.Queueing (len = m.pkts) (fun () ->
+      Printf.sprintf "%s/%s: occupancy drift: disc length=%d, model=%d"
+        inner.Disc.name op len m.pkts);
+  Check.require check Check.Queueing (bytes = m.bytes) (fun () ->
+      Printf.sprintf "%s/%s: byte-count drift: disc bytes=%d, model=%d"
+        inner.Disc.name op bytes m.bytes)
+
+let model_add check (inner : Disc.t) m (p : Packet.t) =
+  Check.require check Check.Queueing
+    (not (Hashtbl.mem m.queued p.uid))
+    (fun () ->
+      Printf.sprintf "%s: uid %d enqueued while already queued" inner.Disc.name
+        p.uid);
+  Hashtbl.replace m.queued p.uid p.size;
+  m.pkts <- m.pkts + 1;
+  m.bytes <- m.bytes + p.size
+
+let model_remove check (inner : Disc.t) m ~op (p : Packet.t) =
+  match Hashtbl.find_opt m.queued p.uid with
+  | None ->
+      Check.violation check Check.Queueing
+        (Printf.sprintf "%s/%s: uid %d left the queue but was never in it"
+           inner.Disc.name op p.uid)
+  | Some size ->
+      Check.require check Check.Queueing (size = p.size) (fun () ->
+          Printf.sprintf "%s/%s: uid %d size changed in queue: %d -> %d"
+            inner.Disc.name op p.uid size p.size);
+      Hashtbl.remove m.queued p.uid;
+      m.pkts <- m.pkts - 1;
+      m.bytes <- m.bytes - size
+
+let wrap ~check (inner : Disc.t) =
+  if not (Check.on check Check.Queueing) then inner
+  else begin
+    let m = { queued = Hashtbl.create 257; pkts = 0; bytes = 0 } in
+    let enqueue (p : Packet.t) =
+      let drops = inner.Disc.enqueue p in
+      let accepted =
+        not (List.exists (fun (d : Packet.t) -> d.uid = p.uid) drops)
+      in
+      if accepted then model_add check inner m p;
+      List.iter
+        (fun (d : Packet.t) ->
+          (* A drop is either the offered packet (rejected, never
+             entered) or a push-out victim that must be queued. *)
+          if d.uid <> p.uid then model_remove check inner m ~op:"pushout" d)
+        drops;
+      verify check inner m ~op:"enqueue";
+      drops
+    in
+    let dequeue () =
+      match inner.Disc.dequeue () with
+      | None ->
+          Check.require check Check.Queueing (m.pkts = 0) (fun () ->
+              Printf.sprintf
+                "%s/dequeue: returned None with %d packets still queued"
+                inner.Disc.name m.pkts);
+          None
+      | Some p ->
+          model_remove check inner m ~op:"dequeue" p;
+          verify check inner m ~op:"dequeue";
+          Some p
+    in
+    {
+      Disc.name = inner.Disc.name;
+      enqueue;
+      dequeue;
+      length = inner.Disc.length;
+      bytes = inner.Disc.bytes;
+    }
+  end

@@ -1,0 +1,18 @@
+(** Shadow-model wrapper for queue disciplines.
+
+    [wrap ~check disc] returns a discipline behaviourally identical to
+    [disc] that cross-checks every operation against a trivially-correct
+    reference model (a uid → size table plus packet/byte counters):
+
+    - after every [enqueue]/[dequeue], [disc.length ()] and
+      [disc.bytes ()] must equal the model's occupancy and byte total;
+    - every drop reported by [enqueue] must be either the offered packet
+      (a rejection) or a packet currently in the queue (a push-out);
+    - [dequeue] must return a packet that is actually queued, and may
+      return [None] only when the queue is empty;
+    - a uid may not be enqueued twice while still queued.
+
+    When the [Queueing] group is disabled in [check], the inner
+    discipline is returned unchanged — zero overhead. *)
+
+val wrap : check:Taq_check.Check.t -> Taq_net.Disc.t -> Taq_net.Disc.t

@@ -1,5 +1,6 @@
 module Sim = Taq_engine.Sim
 module Packet = Taq_net.Packet
+module Check = Taq_check.Check
 module C = Tcp_config
 
 type stats = {
@@ -55,11 +56,13 @@ type t = {
   mutable transmit_listeners : (Packet.t -> unit) list;
   mutable timeout_listeners : (float -> unit) list;
   mutable progress_listeners : (int -> unit) list;
+  check : Check.t;
 }
 
-let create ~sim ~config ~alloc ~flow ?(pool = -1) ~total_segments
+let create ?check ~sim ~config ~alloc ~flow ?(pool = -1) ~total_segments
     ?(close_on_drain = true) ~transmit ?(on_complete = fun _ -> ())
     ?(on_fail = fun _ -> ()) () =
+  let check = match check with Some c -> c | None -> Sim.check sim in
   {
     sim;
     config;
@@ -99,7 +102,56 @@ let create ~sim ~config ~alloc ~flow ?(pool = -1) ~total_segments
     transmit_listeners = [];
     timeout_listeners = [];
     progress_listeners = [];
+    check;
   }
+
+(* Window / scoreboard / RTO invariants, verified after every ack and
+   every retransmission timeout when the [Tcp] group is enabled. *)
+let verify t ~where =
+  let c = t.check in
+  Check.require c Check.Tcp (t.cwnd >= 1.0) (fun () ->
+      Printf.sprintf "flow %d %s: cwnd=%g < 1" t.flow where t.cwnd);
+  Check.require c Check.Tcp (t.ssthresh >= 2.0) (fun () ->
+      Printf.sprintf "flow %d %s: ssthresh=%g < 2" t.flow where t.ssthresh);
+  Check.require c Check.Tcp
+    (0 <= t.snd_una && t.snd_una <= t.next_seq)
+    (fun () ->
+      Printf.sprintf "flow %d %s: sequence space broken: snd_una=%d next_seq=%d"
+        t.flow where t.snd_una t.next_seq);
+  Check.require c Check.Tcp (t.next_seq <= t.total) (fun () ->
+      Printf.sprintf "flow %d %s: next_seq=%d beyond total=%d" t.flow where
+        t.next_seq t.total);
+  Check.require c Check.Tcp (t.inflation >= 0) (fun () ->
+      Printf.sprintf "flow %d %s: negative window inflation %d" t.flow where
+        t.inflation);
+  Check.require c Check.Tcp
+    (1 <= t.backoff && t.backoff <= t.config.C.max_backoff)
+    (fun () ->
+      Printf.sprintf "flow %d %s: backoff=%d outside [1,%d]" t.flow where
+        t.backoff t.config.C.max_backoff);
+  let pipe = Scoreboard.pipe t.sb
+  and lost = Scoreboard.lost_count t.sb
+  and sacked = Scoreboard.sacked_count t.sb
+  and tracked = Scoreboard.tracked t.sb in
+  Check.require c Check.Tcp
+    (pipe >= 0 && lost >= 0 && sacked >= 0)
+    (fun () ->
+      Printf.sprintf "flow %d %s: negative scoreboard counter pipe=%d lost=%d \
+                      sacked=%d"
+        t.flow where pipe lost sacked);
+  Check.require c Check.Tcp
+    (pipe + lost + sacked = tracked)
+    (fun () ->
+      Printf.sprintf
+        "flow %d %s: scoreboard accounting broken: pipe=%d + lost=%d + \
+         sacked=%d <> tracked=%d"
+        t.flow where pipe lost sacked tracked);
+  let rto = Rto.timeout t.rto in
+  Check.require c Check.Tcp
+    (rto >= t.config.C.min_rto && rto <= t.config.C.max_rto)
+    (fun () ->
+      Printf.sprintf "flow %d %s: RTO=%g outside [%g,%g]" t.flow where rto
+        t.config.C.min_rto t.config.C.max_rto)
 
 let stats t =
   {
@@ -227,7 +279,8 @@ let rec on_rtx_timeout t =
     t.in_recovery <- false;
     t.backoff <- Stdlib.min (t.backoff * 2) t.config.C.max_backoff;
     if t.backoff > t.max_backoff_seen then t.max_backoff_seen <- t.backoff;
-    try_send t
+    try_send t;
+    if Check.on t.check Check.Tcp then verify t ~where:"rtx-timeout"
   end
   else t.rtx_timer <- None
 
@@ -339,7 +392,40 @@ let start t =
 
 (* --- acknowledgement processing --------------------------------------- *)
 
+(* SACK blocks must be well-formed half-open ranges strictly above the
+   cumulative ack and within what we have actually sent, and pairwise
+   disjoint. (They are *not* required to be ascending: the receiver
+   reports the most recently changed block first, per RFC 2018.) *)
+let verify_sack_blocks t (p : Packet.t) =
+  let c = t.check in
+  List.iter
+    (fun (lo, hi) ->
+      Check.require c Check.Tcp (lo < hi) (fun () ->
+          Printf.sprintf "flow %d: empty/inverted SACK block [%d,%d)" t.flow lo
+            hi);
+      Check.require c Check.Tcp (lo > p.seq) (fun () ->
+          Printf.sprintf "flow %d: SACK block [%d,%d) not above cum ack %d"
+            t.flow lo hi p.seq);
+      Check.require c Check.Tcp (hi <= t.next_seq) (fun () ->
+          Printf.sprintf "flow %d: SACK block [%d,%d) beyond next_seq=%d" t.flow
+            lo hi t.next_seq))
+    p.sacks;
+  let rec disjoint = function
+    | [] -> ()
+    | (lo, hi) :: rest ->
+        List.iter
+          (fun (lo', hi') ->
+            Check.require c Check.Tcp (hi <= lo' || hi' <= lo) (fun () ->
+                Printf.sprintf
+                  "flow %d: overlapping SACK blocks [%d,%d) and [%d,%d)" t.flow
+                  lo hi lo' hi'))
+          rest;
+        disjoint rest
+  in
+  disjoint p.sacks
+
 let apply_sacks t (p : Packet.t) =
+  if Check.on t.check Check.Tcp then verify_sack_blocks t p;
   match t.config.C.variant with
   | C.Reno | C.Newreno -> ()
   | C.Sack ->
@@ -445,7 +531,9 @@ let on_ack t (p : Packet.t) =
       apply_sacks t p;
       if p.seq > t.snd_una then handle_new_ack t p.seq
       else if p.seq = t.snd_una then handle_dupack t
-      else () (* stale ack below snd_una *)
+      else ();
+      (* stale ack below snd_una: ignored *)
+      if Check.on t.check Check.Tcp then verify t ~where:"on-ack"
   | (Closed | Complete | Failed), _
   | Established, (Packet.Syn_ack | Packet.Syn | Packet.Data | Packet.Fin)
   | Syn_sent, (Packet.Ack | Packet.Syn | Packet.Data | Packet.Fin) ->

@@ -24,6 +24,7 @@ type stats = {
 type state = Closed | Syn_sent | Established | Complete | Failed
 
 val create :
+  ?check:Taq_check.Check.t ->
   sim:Taq_engine.Sim.t ->
   config:Tcp_config.t ->
   alloc:Taq_net.Packet.alloc ->
@@ -41,7 +42,11 @@ val create :
     acknowledged; [on_fail] when SYN retries are exhausted.
     [close_on_drain = false] keeps the connection open when it runs out
     of data (a persistent HTTP/1.1 connection awaiting its next
-    object): it completes only after {!close}. *)
+    object): it completes only after {!close}.
+    [check] defaults to the simulator's checker; the [Tcp] group
+    verifies window floors, sequence-space and scoreboard accounting,
+    SACK block well-formedness and RTO bounds after every ack and
+    timeout. *)
 
 val start : t -> unit
 (** Begin the connection (SYN handshake when configured, otherwise the

@@ -1,0 +1,26 @@
+(* Explicit, logged PRNG seeding for every qcheck suite under test/.
+
+   Each test file calls [rand ~file:"test_foo"] once and passes the
+   result to [QCheck_alcotest.to_alcotest ~rand]. Without this,
+   qcheck-alcotest falls back to [Random.self_init] and a failing
+   counterexample cannot be reproduced. The seed is printed so a
+   failure reproduces exactly with
+
+     QCHECK_SEED=<printed seed> dune runtest
+
+   (QCHECK_SEED overrides the default). The per-file default derives
+   from the file name through the project PRNG (Taq_util.Prng,
+   splitmix64), so the suites are decorrelated from one another but
+   stable from run to run. *)
+
+let seed ~file =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None ->
+      let prng = Taq_util.Prng.create ~seed:(Hashtbl.hash file) in
+      Int64.to_int (Int64.logand (Taq_util.Prng.bits64 prng) 0x3FFFFFFFL)
+
+let rand ~file =
+  let s = seed ~file in
+  Printf.printf "qcheck seed (%s): %d\n%!" file s;
+  Random.State.make [| s |]

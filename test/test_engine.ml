@@ -249,6 +249,6 @@ let () =
             test_sim_same_time_event_scheduled_during_event;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_engine"))
           [ prop_heap_drains_sorted; prop_cancelled_events_never_fire ] );
     ]

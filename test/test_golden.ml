@@ -1,0 +1,136 @@
+(* Golden-output regression tests for the experiment machinery.
+
+   Each scenario is a small, fully deterministic simulation (fixed
+   seed, single domain) through the same [Common.make_env] plumbing
+   the figure experiments use. The key scalar outputs — long-term
+   Jain fairness index, bottleneck utilization, measured loss rate and
+   the exact drop count — are pinned to committed golden values.
+
+   The simulator is deterministic, so the float tolerances are tight
+   (1e-6 absolute): they absorb printf round-tripping, not behaviour.
+   A legitimate behaviour change (new congestion-control detail, queue
+   tweak, ...) must update the goldens; regenerate the table with
+
+     GOLDEN_REGEN=1 dune exec test/test_golden.exe
+
+   and paste the printed rows below. That makes dynamics drift an
+   explicit, reviewed event instead of a silent one. *)
+
+module Common = Taq_experiments.Common
+module Slicer = Taq_metrics.Slicer
+module Loss_monitor = Taq_metrics.Loss_monitor
+
+type golden = {
+  name : string;
+  queue : unit -> Common.queue;
+  jain : float;
+  util : float;
+  loss : float;
+  drops : int;
+}
+
+let capacity_bps = 400e3
+let buffer_pkts = 25
+let n_flows = 12
+let seed = 11
+let horizon = 30.0
+
+let measure queue =
+  let env =
+    Common.make_env ~queue ~capacity_bps ~buffer_pkts ~slice:1.0 ~seed ()
+  in
+  let flows = Common.spawn_long_flows env ~n:n_flows ~rtt:0.1 () in
+  Common.run env ~until:horizon;
+  let jain = Slicer.long_term_jain env.Common.slicer ~flows in
+  let util = Common.utilization env in
+  let loss = Common.measured_loss_rate env in
+  let drops = Loss_monitor.drops env.Common.loss in
+  (jain, util, loss, drops)
+
+let taq ?admission () =
+  Common.Taq (Common.taq_config ?admission ~capacity_bps ~buffer_pkts ())
+
+(* --- the golden table --------------------------------------------------- *)
+
+let goldens =
+  [
+    {
+      name = "droptail";
+      queue = (fun () -> Common.Droptail);
+      jain = 0.949984;
+      util = 0.998667;
+      loss = 0.108060;
+      drops = 366;
+    };
+    {
+      name = "red";
+      queue = (fun () -> Common.Red);
+      jain = 0.928098;
+      util = 0.998667;
+      loss = 0.120362;
+      drops = 412;
+    };
+    {
+      name = "sfq";
+      queue = (fun () -> Common.Sfq);
+      jain = 0.999409;
+      util = 0.999000;
+      loss = 0.090193;
+      drops = 332;
+    };
+    {
+      name = "drr";
+      queue = (fun () -> Common.Drr);
+      jain = 0.994084;
+      util = 0.995000;
+      loss = 0.092803;
+      drops = 343;
+    };
+    {
+      name = "taq";
+      queue = (fun () -> taq ~admission:false ());
+      jain = 0.959982;
+      util = 0.999000;
+      loss = 0.154373;
+      drops = 609;
+    };
+    {
+      name = "taq+ac";
+      queue = (fun () -> taq ~admission:true ());
+      jain = 0.959982;
+      util = 0.999000;
+      loss = 0.154373;
+      drops = 609;
+    };
+  ]
+
+let regen () =
+  Printf.printf
+    "(* GOLDEN_REGEN output: paste these fields into [goldens]. *)\n";
+  List.iter
+    (fun g ->
+      let jain, util, loss, drops = measure (g.queue ()) in
+      Printf.printf
+        "%-10s jain = %.6f;  util = %.6f;  loss = %.6f;  drops = %d;\n" g.name
+        jain util loss drops)
+    goldens
+
+let tol = 1e-6
+
+let check_golden g () =
+  let jain, util, loss, drops = measure (g.queue ()) in
+  Alcotest.(check (float tol)) "jain" g.jain jain;
+  Alcotest.(check (float tol)) "utilization" g.util util;
+  Alcotest.(check (float tol)) "loss rate" g.loss loss;
+  Alcotest.(check int) "drop count" g.drops drops
+
+let () =
+  if Sys.getenv_opt "GOLDEN_REGEN" <> None then regen ()
+  else
+    Alcotest.run "taq_golden"
+      [
+        ( "registry scalars",
+          List.map
+            (fun g -> Alcotest.test_case g.name `Slow (check_golden g))
+            goldens );
+      ]

@@ -184,11 +184,17 @@ let test_capture_table_print_is_captured () =
 
 (* --- Cache ----------------------------------------------------------------- *)
 
+(* Unique per call without ambient [Random]: pid + a counter keep
+   concurrent runs and repeated calls within one run apart. *)
+let temp_cache_counter = ref 0
+
 let with_temp_cache f =
+  incr temp_cache_counter;
   let dir =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "taq-cache-test-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+      (Printf.sprintf "taq-cache-test-%d-%d" (Unix.getpid ())
+         !temp_cache_counter)
   in
   Fun.protect
     ~finally:(fun () ->
@@ -326,5 +332,5 @@ let () =
             test_cache_store_roundtrip;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_parallel_matches_sequential ] );
+        [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_harness") prop_parallel_matches_sequential ] );
     ]

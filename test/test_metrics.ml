@@ -243,6 +243,7 @@ let test_loss_monitor_rates () =
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:1e3 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
+      ()
   in
   let lm = Loss_monitor.attach link in
   ignore
@@ -264,6 +265,7 @@ let test_loss_monitor_ignores_control () =
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:1e3 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
+      ()
   in
   let lm = Loss_monitor.attach link in
   ignore
@@ -284,6 +286,7 @@ let packet_log_fixture () =
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
+      ()
   in
   let log = Packet_log.attach ~now:(fun () -> Sim.now sim) link in
   (sim, link, log)
@@ -359,6 +362,7 @@ let test_packet_log_capacity_bound () =
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:1e9 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
+      ()
   in
   let log = Packet_log.attach ~capacity:10 ~now:(fun () -> Sim.now sim) link in
   ignore
@@ -455,5 +459,5 @@ let () =
           Alcotest.test_case "rates" `Quick test_loss_monitor_rates;
           Alcotest.test_case "ignores control" `Quick test_loss_monitor_ignores_control;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_cdf_quantile_in_range ]);
+      ("properties", [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_metrics") prop_cdf_quantile_in_range ]);
     ]

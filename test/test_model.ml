@@ -442,6 +442,6 @@ let () =
           Alcotest.test_case "steepest increase" `Quick test_steepest_increase_in_range;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_model"))
           [ prop_stationary_is_fixed_point; prop_full_model_valid_distribution ] );
     ]

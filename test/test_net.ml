@@ -64,6 +64,7 @@ let test_link_transmission_time () =
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.5 ~disc
       ~deliver:(fun _ -> arrival := Sim.now sim)
+      ()
   in
   ignore (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
   Sim.run sim;
@@ -78,6 +79,7 @@ let test_link_serializes () =
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> arrivals := Sim.now sim :: !arrivals)
+      ()
   in
   ignore
     (Sim.schedule sim ~at:0.0 (fun () ->
@@ -90,7 +92,7 @@ let test_link_counts_drops () =
   let sim = Sim.create () in
   let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
   let link =
-    Link.create ~sim ~capacity_bps:1e6 ~prop_delay:0.0 ~disc ~deliver:(fun _ -> ())
+    Link.create ~sim ~capacity_bps:1e6 ~prop_delay:0.0 ~disc ~deliver:(fun _ -> ()) ()
   in
   let drop_seen = ref 0 in
   Link.on_drop link (fun _ -> incr drop_seen);
@@ -115,6 +117,7 @@ let test_link_utilization () =
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
+      ()
   in
   ignore (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
   (* 1 s busy; run until t=2 so utilization = 0.5. *)
@@ -131,6 +134,7 @@ let test_link_work_conserving () =
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> arrivals := Sim.now sim :: !arrivals)
+      ()
   in
   ignore (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
   ignore (Sim.schedule sim ~at:5.0 (fun () -> Link.send link (mk_pkt ~size:1000 ())));
@@ -304,6 +308,113 @@ let test_overlay_zero_loss_passthrough () =
   Alcotest.(check int) "no retransmissions" 0
     (Overlay.stats ov).Overlay.retransmissions
 
+(* --- qcheck properties -------------------------------------------------- *)
+
+let qcheck_rand = Qcheck_seed.rand ~file:"test_net"
+
+(* Packet uids are unique within an allocator no matter how packet
+   creation interleaves across two independent nets, and each
+   allocator's uid stream is unperturbed by the other's activity
+   (1, 2, 3, ... regardless of interleaving). *)
+let prop_uid_uniqueness_two_nets =
+  QCheck.Test.make ~name:"uid uniqueness across two nets" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 200) bool)
+    (fun interleaving ->
+      let alloc_a = Packet.alloc () and alloc_b = Packet.alloc () in
+      let uids_a = ref [] and uids_b = ref [] in
+      List.iter
+        (fun first ->
+          let alloc, uids =
+            if first then (alloc_a, uids_a) else (alloc_b, uids_b)
+          in
+          let p =
+            Packet.make ~alloc ~flow:0 ~kind:Packet.Data ~seq:0 ~size:100
+              ~sent_at:0.0 ()
+          in
+          uids := p.Packet.uid :: !uids)
+        interleaving;
+      let consecutive_from_one l =
+        (* Collected newest-first: must be n, n-1, ..., 1. *)
+        let l = List.rev !l in
+        List.for_all2 ( = ) l (List.mapi (fun i _ -> i + 1) l)
+      in
+      consecutive_from_one uids_a && consecutive_from_one uids_b)
+
+(* A link's serialization delay is [size * 8 / capacity]: exact, and
+   therefore monotone in packet size at fixed capacity. *)
+let prop_serialization_monotone_in_size =
+  QCheck.Test.make ~name:"serialization delay monotone in size" ~count:150
+    QCheck.(
+      triple (int_range 40 1500) (int_range 40 1500)
+        (float_range 1e4 1e8 (* bps *)))
+    (fun (s1, s2, capacity_bps) ->
+      let arrival size =
+        let sim = Sim.create () in
+        let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:4 () in
+        let at = ref nan in
+        let link =
+          Link.create ~sim ~capacity_bps ~prop_delay:0.01 ~disc
+            ~deliver:(fun _ -> at := Sim.now sim)
+            ()
+        in
+        ignore
+          (Sim.schedule sim ~at:0.0 (fun () -> Link.send link (mk_pkt ~size ())));
+        Sim.run sim;
+        !at
+      in
+      let a1 = arrival s1 and a2 = arrival s2 in
+      let expect size = (float_of_int (size * 8) /. capacity_bps) +. 0.01 in
+      (* Exact formula... *)
+      Float.abs (a1 -. expect s1) < 1e-9
+      && Float.abs (a2 -. expect s2) < 1e-9
+      (* ...which implies monotonicity. *)
+      && if s1 <= s2 then a1 <= a2 else a2 <= a1)
+
+(* Whatever the traffic pattern, a dumbbell's delivered packets are
+   distinct packets: no duplication, no loss out of thin air. *)
+let prop_dumbbell_delivers_each_once =
+  QCheck.Test.make ~name:"dumbbell delivers each accepted packet once"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 80) (int_range 0 3))
+    (fun flows ->
+      let sim = Sim.create () in
+      let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1000 () in
+      let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
+      let delivered = Hashtbl.create 64 in
+      for f = 0 to 3 do
+        Dumbbell.register_flow net ~flow:f ~rtt_prop:0.05
+          ~deliver_fwd:(fun p ->
+            if Hashtbl.mem delivered p.Packet.uid then
+              QCheck.Test.fail_reportf "uid %d delivered twice" p.Packet.uid;
+            Hashtbl.add delivered p.Packet.uid ())
+          ~deliver_rev:(fun _ -> ())
+      done;
+      let alloc = Packet.alloc () in
+      let sent = ref 0 in
+      List.iteri
+        (fun i flow ->
+          ignore
+            (Sim.schedule sim
+               ~at:(0.001 *. float_of_int i)
+               (fun () ->
+                 incr sent;
+                 Dumbbell.send_fwd net
+                   (Packet.make ~alloc ~flow ~kind:Packet.Data ~seq:i ~size:500
+                      ~sent_at:0.0 ()))))
+        flows;
+      Sim.run sim;
+      (* Queue is big enough that nothing drops: all arrive, each once. *)
+      Hashtbl.length delivered = !sent)
+
+let qcheck_props =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:qcheck_rand)
+    [
+      prop_uid_uniqueness_two_nets;
+      prop_serialization_monotone_in_size;
+      prop_dumbbell_delivers_each_once;
+    ]
+
 let () =
   Alcotest.run "taq_net"
     [
@@ -344,4 +455,5 @@ let () =
           Alcotest.test_case "latency cost" `Quick test_overlay_recovery_costs_latency;
           Alcotest.test_case "zero loss" `Quick test_overlay_zero_loss_passthrough;
         ] );
+      ("properties", qcheck_props);
     ]

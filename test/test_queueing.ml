@@ -285,6 +285,6 @@ let () =
           Alcotest.test_case "capacity" `Quick test_drr_capacity_respected;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_queueing"))
           [ prop_droptail_never_exceeds_capacity; prop_sfq_never_exceeds_capacity ] );
     ]

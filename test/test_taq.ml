@@ -891,6 +891,6 @@ let () =
             test_taq_idle_persistent_flow_classified_idle;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_taq"))
           [ prop_taq_queues_conserve_packets; prop_taq_queue_class_lengths_sum ] );
     ]

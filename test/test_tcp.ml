@@ -545,7 +545,7 @@ let () =
             test_cubic_regrows_faster_than_aimd_after_loss;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_tcp"))
           [
             prop_tcp_completes_under_random_loss;
             prop_receiver_never_acks_beyond_delivery;

@@ -373,7 +373,7 @@ let prop_log_bucket_contains =
 
 let () =
   let qsuite =
-    List.map QCheck_alcotest.to_alcotest
+    List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_util"))
       [ prop_jain_scale_invariant; prop_percentile_monotone; prop_log_bucket_contains ]
   in
   Alcotest.run "taq_util"
@@ -435,5 +435,5 @@ let () =
           Alcotest.test_case "clear" `Quick test_deque_clear;
         ] );
       ( "properties",
-        qsuite @ [ QCheck_alcotest.to_alcotest prop_deque_behaves_like_list ] );
+        qsuite @ [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_util") prop_deque_behaves_like_list ] );
     ]

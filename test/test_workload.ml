@@ -276,6 +276,93 @@ let test_persistent_balances_connections () =
   Alcotest.(check int) "all served across conns" 8
     (List.length (Persistent_session.completed session))
 
+(* --- qcheck properties -------------------------------------------------- *)
+
+let qcheck_rand = Qcheck_seed.rand ~file:"test_workload"
+
+(* The object-size sampler respects its clamp bounds for every seed,
+   not just the handful the unit tests pin. *)
+let prop_object_size_bounds =
+  QCheck.Test.make ~name:"object sizes within params bounds" ~count:100
+    QCheck.(int_range 0 1000000000)
+    (fun seed ->
+      let prng = Taq_util.Prng.create ~seed in
+      let p = Object_size.default in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let s = Object_size.sample prng in
+        if s < p.Object_size.min_bytes || s > p.Object_size.max_bytes then
+          ok := false
+      done;
+      !ok)
+
+(* The bucketed sampler lands in its decade for every seed and bucket. *)
+let prop_bucketed_size_in_decade =
+  QCheck.Test.make ~name:"bucketed sizes stay in their decade" ~count:100
+    QCheck.(pair (int_range 0 1000000000) (int_range 0 4))
+    (fun (seed, bucket) ->
+      let prng = Taq_util.Prng.create ~seed in
+      let lo = 100 * int_of_float (10.0 ** float_of_int bucket) in
+      let hi = lo * 10 in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let s = Object_size.sample_bucketed prng ~bucket in
+        if s < lo || s >= hi then ok := false
+      done;
+      !ok)
+
+(* Generated traces are sorted and every record is within bounds, for
+   arbitrary seeds and (small) parameter choices. *)
+let prop_trace_sorted_and_bounded =
+  QCheck.Test.make ~name:"traces sorted and in bounds" ~count:40
+    QCheck.(
+      triple (int_range 0 1000000000) (int_range 1 40)
+        (float_range 10.0 900.0))
+    (fun (seed, clients, duration) ->
+      let params =
+        {
+          Trace.clients;
+          duration;
+          mean_think = 20.0;
+          objects_per_page_max = 5;
+          size_params = Object_size.default;
+        }
+      in
+      let t = Trace.generate ~params ~seed () in
+      let last = ref neg_infinity in
+      let size_params = Object_size.default in
+      Array.for_all
+        (fun r ->
+          let sorted = r.Trace.time >= !last in
+          last := r.Trace.time;
+          sorted
+          && r.Trace.time >= 0.0
+          && r.Trace.time <= duration
+          && r.Trace.client >= 0
+          && r.Trace.client < clients
+          && r.Trace.size >= size_params.Object_size.min_bytes
+          && r.Trace.size <= size_params.Object_size.max_bytes)
+        t)
+
+(* The trace generator is a pure function of (params, seed). *)
+let prop_trace_deterministic =
+  QCheck.Test.make ~name:"trace generation deterministic in seed" ~count:25
+    QCheck.(int_range 0 1000000000)
+    (fun seed ->
+      let a = Trace.generate ~params:small_params ~seed ()
+      and b = Trace.generate ~params:small_params ~seed () in
+      a = b)
+
+let qcheck_props =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:qcheck_rand)
+    [
+      prop_object_size_bounds;
+      prop_bucketed_size_in_decade;
+      prop_trace_sorted_and_bounded;
+      prop_trace_deterministic;
+    ]
+
 let () =
   Alcotest.run "taq_workload"
     [
@@ -313,4 +400,5 @@ let () =
           Alcotest.test_case "hangs recorder" `Quick test_session_feeds_hangs_recorder;
           Alcotest.test_case "accounting" `Quick test_session_fetch_accounting;
         ] );
+      ("properties", qcheck_props);
     ]
