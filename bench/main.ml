@@ -151,7 +151,8 @@ let write_bench_json ~path ~full ~jobs timings =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--full] [--jobs N] [--check[=GROUPS]] [TARGET...]\n\
+    "usage: main.exe [--full] [--jobs N] [--check[=GROUPS]] [--faults=PLAN] \
+     [TARGET...]\n\
      known targets: %s, micro\n"
     (String.concat ", " Registry.names);
   exit 2
@@ -159,6 +160,17 @@ let usage () =
 let enable_check spec =
   match Taq_check.Check.groups_of_string spec with
   | Ok groups -> Taq_check.Check.set_policy ~mode:Taq_check.Check.Raise ~groups ()
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+(* [--faults=PLAN] installs the ambient fault plan (a plan expression
+   or a scenario name) before any target runs; every environment the
+   figure targets build picks it up — handy for benchmarking figure
+   pipelines under adverse conditions. *)
+let enable_faults spec =
+  match Taq_fault.Scenarios.plan_of_string spec with
+  | Ok plan -> Taq_fault.Plan.set_ambient plan
   | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 2
@@ -176,6 +188,10 @@ let parse_args args =
     | arg :: rest
       when String.length arg > 8 && String.sub arg 0 8 = "--check=" ->
         enable_check (String.sub arg 8 (String.length arg - 8));
+        go rest
+    | arg :: rest
+      when String.length arg > 9 && String.sub arg 0 9 = "--faults=" ->
+        enable_faults (String.sub arg 9 (String.length arg - 9));
         go rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with

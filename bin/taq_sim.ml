@@ -5,6 +5,8 @@
      sim         ad-hoc dumbbell contention run with any queue
      sweep       a (discipline x capacity x fair-share x rep) grid on a
                  Domain worker pool, with an on-disk result cache
+     faults      run the canonical fault-scenario registry and assert
+                 the recovery properties it promises
      model       evaluate the idealized Markov models
      trace       generate a synthetic proxy access trace (CSV) *)
 
@@ -12,6 +14,8 @@ open Cmdliner
 open Taq_experiments
 module Harness = Taq_harness
 module Check = Taq_check.Check
+module Fault_plan = Taq_fault.Plan
+module Scenarios = Taq_fault.Scenarios
 
 (* --- invariant checking ------------------------------------------------ *)
 
@@ -39,6 +43,34 @@ let setup_check spec =
           Ok true
       | Error msg -> Error msg)
 
+(* --- fault injection --------------------------------------------------- *)
+
+(* [--faults=PLAN] installs the ambient fault plan before any
+   simulation (or worker domain) starts; every environment built
+   afterwards attaches an injector seeded from its own root PRNG.
+   PLAN is either a plan expression ("flap@5+2;corrupt@8-12:p=0.01")
+   or a registered scenario name ("flap-slow-start"). *)
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Inject deterministic faults. $(docv) is a fault-plan expression \
+           (e.g. 'flap@5+2;corrupt@8-12:p=0.01') or a scenario name from \
+           $(b,taq_sim faults --list). The plan is seeded from each run's \
+           PRNG, so equal seeds give byte-identical fault timelines.")
+
+let setup_faults spec =
+  match spec with
+  | None -> Ok None
+  | Some s -> (
+      match Scenarios.plan_of_string s with
+      | Ok plan ->
+          Fault_plan.set_ambient plan;
+          Ok (Some plan)
+      | Error msg -> Error msg)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -52,10 +84,13 @@ let experiment_cmd =
   let full_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-fidelity parameters.")
   in
-  let run name full check =
+  let run name full check faults =
     match setup_check check with
     | Error msg -> `Error (false, msg)
     | Ok enabled -> (
+        match setup_faults faults with
+        | Error msg -> `Error (false, msg)
+        | Ok _plan -> (
         match Registry.find name with
         | Some t -> (
             try
@@ -68,11 +103,11 @@ let experiment_cmd =
         | None ->
             `Error
               (false, Printf.sprintf "unknown experiment %S (known: %s)" name
-                        (String.concat ", " Registry.names)))
+                        (String.concat ", " Registry.names))))
   in
   let doc = "Reproduce one of the paper's figures" in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(ret (const run $ name_arg $ full_arg $ check_arg))
+    Term.(ret (const run $ name_arg $ full_arg $ check_arg $ faults_arg))
 
 (* --- sim ---------------------------------------------------------------- *)
 
@@ -134,10 +169,13 @@ let sim_cmd =
             "Record every enqueue/drop/delivery at the bottleneck and write \
              the packet log as CSV to $(docv).")
   in
-  let run queue capacity flows rtt duration buffer_rtts seed pcap check =
+  let run queue capacity flows rtt duration buffer_rtts seed pcap check faults =
    match setup_check check with
    | Error msg -> `Error (false, msg)
    | Ok check_enabled ->
+   match setup_faults faults with
+   | Error msg -> `Error (false, msg)
+   | Ok _plan ->
    (try
     let buffer_pkts =
       Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
@@ -198,6 +236,9 @@ let sim_cmd =
           st.Taq_core.Taq_disc.enqueued st.Taq_core.Taq_disc.dropped
           st.Taq_core.Taq_disc.admission_rejected
           st.Taq_core.Taq_disc.forced_recovery_drops);
+    (match env.Common.faults with
+    | None -> ()
+    | Some inj -> Printf.printf "  %s\n" (Taq_fault.Injector.report inj));
     if check_enabled then print_string (Check.report env.Common.check);
     `Ok ()
    with Check.Violation msg ->
@@ -208,7 +249,7 @@ let sim_cmd =
     Term.(
       ret
         (const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts
-       $ seed $ pcap $ check_arg))
+       $ seed $ pcap $ check_arg $ faults_arg))
 
 (* --- sweep ---------------------------------------------------------------- *)
 
@@ -305,13 +346,46 @@ let sweep_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the cache.")
   in
+  let timeout_s =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-s" ] ~docv:"S"
+          ~doc:
+            "Per-task deadline in seconds. A point that exceeds it is \
+             recorded as failed (the worker moves on); with --retries the \
+             attempt is retried first.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry failed or timed-out points up to $(docv) times (with \
+             exponential backoff) before quarantining them as failed.")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject two deliberately unhealthy tasks (one crashes, one \
+             hangs) into the sweep to exercise the pool's quarantine path. \
+             They are reported but excluded from the exit status. Requires \
+             --timeout-s (the hanging task is only bounded by the deadline).")
+  in
   let run queues capacities fair_shares reps rtt duration buffer_rtts jobs
-      results_dir no_cache check =
+      results_dir no_cache timeout_s retries chaos check faults =
     if reps < 1 then `Error (false, "--reps must be >= 1")
+    else if chaos && timeout_s = None then
+      `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
     else begin
       match setup_check check with
       | Error msg -> `Error (false, msg)
       | Ok check_enabled ->
+      match setup_faults faults with
+      | Error msg -> `Error (false, msg)
+      | Ok fault_plan ->
       let queue_tag = function
         | `Droptail -> "droptail"
         | `Red -> "red"
@@ -321,8 +395,15 @@ let sweep_cmd =
         | `Taq_ac -> "taq+ac"
       in
       (* The task key is the point's full identity: every parameter that
-         affects the output is in it, so it doubles as the cache key and
-         as the seed source. *)
+         affects the output is in it — including the canonical fault
+         plan, so faulted and fault-free sweeps never share cache
+         entries — and it doubles as the cache key and seed source. *)
+      let fault_suffix =
+        match fault_plan with
+        | Some plan when not (Fault_plan.is_empty plan) ->
+            Printf.sprintf "/faults=%s" (Fault_plan.to_string plan)
+        | Some _ | None -> ""
+      in
       let points =
         List.concat_map
           (fun queue ->
@@ -333,9 +414,9 @@ let sweep_cmd =
                     List.init reps (fun rep ->
                         let key =
                           Printf.sprintf
-                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d"
+                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s"
                             (queue_tag queue) capacity fair_share rtt duration
-                            buffer_rtts rep
+                            buffer_rtts rep fault_suffix
                         in
                         (key, queue, capacity, fair_share, rep)))
                   fair_shares)
@@ -361,12 +442,29 @@ let sweep_cmd =
                             ~duration ~buffer_rtts ~rep ~seed))))
           points
       in
+      (* Deliberately unhealthy tasks: exercise the pool's quarantine
+         path in-situ (CI runs this). They are excluded from the exit
+         status below. *)
+      let chaos_tasks =
+        if not chaos then []
+        else
+          [
+            Harness.Task.make ~key:"chaos/crash" (fun ~seed:_ ->
+                failwith "chaos: deliberate crash");
+            Harness.Task.make ~key:"chaos/hang" (fun ~seed:_ ->
+                while true do
+                  Unix.sleepf 0.05
+                done;
+                "unreachable");
+          ]
+      in
       let computed =
-        Harness.Pool.run ~jobs
+        Harness.Pool.run ~jobs ?timeout_s ~retries
           ~on_done:(fun ~completed ~total r ->
-            Printf.eprintf "[%d/%d] %s (%.1f s)\n%!" completed total
-              r.Harness.Pool.key r.Harness.Pool.elapsed_s)
-          jobs_list
+            Printf.eprintf "[%d/%d] %s (%.1f s, %s)\n%!" completed total
+              r.Harness.Pool.key r.Harness.Pool.elapsed_s
+              (Harness.Pool.status r))
+          (jobs_list @ chaos_tasks)
       in
       let by_key = Hashtbl.create 64 in
       List.iter
@@ -401,10 +499,13 @@ let sweep_cmd =
                     [
                       key;
                       Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
-                      "failed";
+                      Harness.Pool.status r;
                     ])
           | None -> (
-              (* Not computed this run: serve from the cache. *)
+              (* Not computed this run: serve from the cache. A hit
+                 that went stale between the probe and here (e.g. a
+                 corrupted entry evicted by a concurrent reader) is a
+                 harness bug only if it was never computed at all. *)
               match Harness.Cache.find cache ~key:hash with
               | Some output ->
                   incr hits;
@@ -412,6 +513,18 @@ let sweep_cmd =
                   Taq_util.Table.add_row summary [ key; "-"; "cache hit" ]
               | None -> assert false))
         points;
+      (* Chaos tasks are reported but never gate the exit status. *)
+      List.iter
+        (fun (r : string Harness.Pool.result) ->
+          if String.length r.Harness.Pool.key >= 6
+             && String.sub r.Harness.Pool.key 0 6 = "chaos/" then
+            Taq_util.Table.add_row summary
+              [
+                r.Harness.Pool.key;
+                Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
+                Printf.sprintf "chaos (%s)" (Harness.Pool.status r);
+              ])
+        computed;
       Printf.printf "\n-- sweep summary (%d points, jobs=%d) --\n\n"
         (List.length points) jobs;
       Taq_util.Table.print ~oc:stdout summary;
@@ -433,7 +546,144 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
-       $ buffer_rtts $ jobs $ results_dir $ no_cache $ check_arg))
+       $ buffer_rtts $ jobs $ results_dir $ no_cache $ timeout_s $ retries
+       $ chaos $ check_arg $ faults_arg))
+
+(* --- faults --------------------------------------------------------------- *)
+
+(* Run the canonical fault-scenario registry (or one scenario) as a
+   (scenario x queue) drill grid on the worker pool and assert the
+   recovery properties the registry promises. Exit status is nonzero
+   if any drill reports a problem. *)
+let faults_cmd =
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the registered scenarios and exit.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "scenario" ] ~docv:"NAME"
+          ~doc:"Run only this scenario (default: the whole registry).")
+  in
+  let queues =
+    Arg.(
+      value
+      & opt (list queue_conv) [ `Droptail; `Taq ]
+      & info [ "queues" ] ~docv:"QUEUES"
+          ~doc:"Comma-separated disciplines to drill each scenario against.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains. Drills are seeded from their task keys, so \
+                outcomes are byte-identical for any jobs count.")
+  in
+  let run list_flag scenario queues jobs check =
+    if list_flag then begin
+      List.iter
+        (fun s ->
+          Printf.printf "%-28s %s\n    %s\n" s.Scenarios.name
+            (Fault_plan.to_string s.Scenarios.plan)
+            s.Scenarios.description)
+        Scenarios.all;
+      `Ok ()
+    end
+    else
+      match setup_check check with
+      | Error msg -> `Error (false, msg)
+      | Ok check_enabled -> (
+          let scenarios =
+            match scenario with
+            | None -> Ok Scenarios.all
+            | Some name -> (
+                match Scenarios.find name with
+                | Some s -> Ok [ s ]
+                | None ->
+                    Error
+                      (Printf.sprintf "unknown scenario %S (known: %s)" name
+                         (String.concat ", " Scenarios.names)))
+          in
+          match scenarios with
+          | Error msg -> `Error (false, msg)
+          | Ok scenarios -> (
+              try
+                let queue_of = function
+                  | `Droptail -> Common.Droptail
+                  | `Red -> Common.Red
+                  | `Sfq -> Common.Sfq
+                  | `Drr -> Common.Drr
+                  | `Taq | `Taq_ac -> Common.taq_marker
+                in
+                let tasks =
+                  List.concat_map
+                    (fun s ->
+                      (* A restart-only plan injects nothing without a
+                         middlebox: drill it against TAQ only. *)
+                      let queues =
+                        if Fault_plan.middlebox_only s.Scenarios.plan then
+                          List.filter
+                            (function `Taq | `Taq_ac -> true | _ -> false)
+                            queues
+                        else queues
+                      in
+                      List.map
+                        (fun q ->
+                          let key =
+                            Printf.sprintf "faults/v1/%s/queue=%s"
+                              s.Scenarios.name
+                              (Common.queue_name (queue_of q))
+                          in
+                          Harness.Task.make ~key (fun ~seed ->
+                              Fault_drill.run ~scenario:s.Scenarios.name
+                                ~plan:s.Scenarios.plan ~queue:(queue_of q)
+                                ~seed ()))
+                        queues)
+                    scenarios
+                in
+                let results =
+                  Harness.Pool.run ~jobs
+                    ~on_done:(fun ~completed ~total r ->
+                      Printf.eprintf "[%d/%d] %s (%.1f s)\n%!" completed total
+                        r.Harness.Pool.key r.Harness.Pool.elapsed_s)
+                    tasks
+                in
+                let outcomes =
+                  List.map Harness.Pool.value_exn results
+                in
+                Fault_drill.print outcomes;
+                let bad =
+                  List.filter (fun o -> not o.Fault_drill.ok) outcomes
+                in
+                if bad <> [] then
+                  `Error
+                    (false,
+                     Printf.sprintf "%d fault drill(s) failed: %s"
+                       (List.length bad)
+                       (String.concat "; "
+                          (List.map
+                             (fun o ->
+                               Printf.sprintf "%s/%s (%s)"
+                                 o.Fault_drill.scenario o.Fault_drill.queue
+                                 (String.concat "; " o.Fault_drill.problems))
+                             bad)))
+                else begin
+                  if check_enabled then
+                    Printf.printf "invariant checks: clean (%d drill(s))\n"
+                      (List.length outcomes);
+                  `Ok ()
+                end
+              with
+              | Check.Violation msg ->
+                  `Error (false, Printf.sprintf "invariant violation: %s" msg)
+              | Failure msg -> `Error (false, msg)))
+  in
+  let doc = "Run the canonical fault-scenario registry and assert recovery" in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(ret (const run $ list_flag $ scenario $ queues $ jobs $ check_arg))
 
 (* --- model --------------------------------------------------------------- *)
 
@@ -614,4 +864,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiment_cmd; sim_cmd; sweep_cmd; model_cmd; trace_cmd; replay_cmd ]))
+          [
+            experiment_cmd; sim_cmd; sweep_cmd; faults_cmd; model_cmd;
+            trace_cmd; replay_cmd;
+          ]))

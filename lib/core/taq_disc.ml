@@ -12,20 +12,22 @@ type stats = {
   dropped : int;
   admission_rejected : int;
   forced_recovery_drops : int;
+  restarts : int;
   drops_by_class : (Taq_queues.class_ * int) list;
 }
 
 type t = {
   sim : Sim.t;
   config : Taq_config.t;
-  tracker : Flow_tracker.t;
-  admission : Admission.t option;
+  mutable tracker : Flow_tracker.t;
+  mutable admission : Admission.t option;
   queues : Taq_queues.t;
   mutable last_tick : float;
   mutable n_enqueued : int;
   mutable n_dropped : int;
   mutable n_admission_rejected : int;
   mutable n_forced_recovery : int;
+  mutable n_restarts : int;
   drop_counts : (Taq_queues.class_, int) Hashtbl.t;
   check : Check.t;
   chk_pools : (int, unit) Hashtbl.t;  (* pool keys seen, check-only *)
@@ -59,8 +61,30 @@ let create ?check ~sim ~config () =
     n_dropped = 0;
     n_admission_rejected = 0;
     n_forced_recovery = 0;
+    n_restarts = 0;
     drop_counts = Hashtbl.create 8;
   }
+
+(* Middlebox restart (control-plane state loss): the flow tracker —
+   including every per-flow epoch estimator — and the admission
+   controller are rebuilt from scratch, exactly as if the TAQ box had
+   rebooted. Queued packets survive (they sit in the data plane), so
+   link-level packet/byte conservation holds across a restart; the
+   box simply re-learns every flow from the next packet it sees —
+   re-observed flows start over as New_flow until their epochs
+   re-establish. *)
+let restart t =
+  let now () = Sim.now t.sim in
+  t.tracker <- Flow_tracker.create ~config:t.config ~now;
+  t.admission <-
+    Option.map
+      (fun a -> Admission.create ~config:a ~now)
+      t.config.Taq_config.admission;
+  Hashtbl.reset t.chk_pools;
+  t.n_restarts <- t.n_restarts + 1;
+  Log.debug (fun m ->
+      m "t=%.3f middlebox restart #%d: tracker and admission state lost"
+        (Sim.now t.sim) t.n_restarts)
 
 (* TAQ accounting invariants: the aggregate packet/byte counters must
    equal the sums over the five class queues, occupancy must respect
@@ -293,6 +317,7 @@ let stats t =
     dropped = t.n_dropped;
     admission_rejected = t.n_admission_rejected;
     forced_recovery_drops = t.n_forced_recovery;
+    restarts = t.n_restarts;
     drops_by_class =
       Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) t.drop_counts [];
   }

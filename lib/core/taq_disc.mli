@@ -17,6 +17,7 @@ type stats = {
   forced_recovery_drops : int;
       (** retransmissions dropped because every queue was full — the
           "inevitable" case of §4.1 *)
+  restarts : int;  (** {!restart} invocations (fault injection) *)
   drops_by_class : (Taq_queues.class_ * int) list;
 }
 
@@ -33,6 +34,14 @@ val create :
 
 val disc : t -> Taq_net.Disc.t
 (** The discipline to install on a {!Taq_net.Link}. *)
+
+val restart : t -> unit
+(** Simulate a middlebox restart (fault injection): the flow tracker —
+    including every per-flow epoch estimator — and the admission
+    controller are rebuilt empty, as after a reboot of the TAQ box.
+    Queued packets survive in the data plane (so link conservation
+    holds across the restart); every flow is re-learned and
+    re-classified from its next packet, starting over as New_flow. *)
 
 val tracker : t -> Flow_tracker.t
 

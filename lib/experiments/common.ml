@@ -26,6 +26,7 @@ type env = {
   evolution : Taq_metrics.Flow_evolution.t;
   prng : Taq_util.Prng.t;
   check : Check.t;
+  faults : Taq_fault.Injector.t option;
 }
 
 let pkt_bytes = 500
@@ -37,7 +38,7 @@ let taq_config ?(admission = false) ~capacity_bps ~buffer_pkts () =
     Taq_config.with_admission ~capacity_pkts:buffer_pkts ~capacity_bps
   else Taq_config.default ~capacity_pkts:buffer_pkts ~capacity_bps
 
-let make_env ?check ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
+let make_env ?check ?faults ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     ?(evolution_window = 5.0) ?(seed = 1) () =
   (* One checker per environment: the simulator, link, TAQ middlebox and
      every TCP sender share it, so counters aggregate in one place. *)
@@ -65,6 +66,21 @@ let make_env ?check ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
   let disc = Taq_queueing.Checked.wrap ~check disc in
   let net = Dumbbell.create ~check ~sim ~capacity_bps ~disc () in
   let loss = Taq_metrics.Loss_monitor.attach (Dumbbell.link net) in
+  (* Fault injection: an explicit plan wins; otherwise the ambient
+     plan installed by --faults (if any). The injector's PRNG is split
+     from the env root only when a plan is present, so fault-free runs
+     keep byte-identical random streams with or without this layer. *)
+  let fault_plan =
+    match faults with Some p -> Some p | None -> Taq_fault.Plan.ambient ()
+  in
+  let faults =
+    match fault_plan with
+    | Some plan when not (Taq_fault.Plan.is_empty plan) ->
+        Some
+          (Taq_fault.Injector.install ?taq:!taq ~net
+             ~prng:(Taq_util.Prng.split prng) plan)
+    | Some _ | None -> None
+  in
   {
     sim;
     net;
@@ -74,6 +90,7 @@ let make_env ?check ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     evolution = Taq_metrics.Flow_evolution.create ~window:evolution_window;
     prng;
     check;
+    faults;
   }
 
 let instrument env session =

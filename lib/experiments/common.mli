@@ -23,10 +23,14 @@ type env = {
   check : Taq_check.Check.t;
       (** the env-wide invariant checker (shared by sim, link, queue
           and TCP senders) *)
+  faults : Taq_fault.Injector.t option;
+      (** present when a fault plan (explicit or ambient [--faults])
+          was installed on this environment *)
 }
 
 val make_env :
   ?check:Taq_check.Check.t ->
+  ?faults:Taq_fault.Plan.t ->
   queue:queue ->
   capacity_bps:float ->
   buffer_pkts:int ->
@@ -41,7 +45,11 @@ val make_env :
     separate domains. [check] (default [Taq_check.Check.ambient ()])
     instruments every layer; when the Queueing group is enabled the
     installed discipline is additionally wrapped in
-    {!Taq_queueing.Checked} shadow-model cross-checking. *)
+    {!Taq_queueing.Checked} shadow-model cross-checking. [faults]
+    (default [Taq_fault.Plan.ambient ()], i.e. the CLI's [--faults]
+    plan when one was installed) attaches a fault injector to the
+    bottleneck, seeded from a split of the env's root PRNG; fault-free
+    envs draw exactly the random streams they always did. *)
 
 val taq_config :
   ?admission:bool -> capacity_bps:float -> buffer_pkts:int -> unit ->

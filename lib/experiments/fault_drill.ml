@@ -1,0 +1,104 @@
+module Injector = Taq_fault.Injector
+module Plan = Taq_fault.Plan
+
+type outcome = {
+  scenario : string;
+  queue : string;
+  flows : int;
+  completed : int;
+  injected : int;
+  restarts : int;
+  tracked_before_restart : int;
+  tracked_at_end : int;
+  ok : bool;
+  problems : string list;
+}
+
+let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
+    ?(capacity_bps = 400e3) ?(duration = 90.0) ?(seed = 1) () =
+  let buffer_pkts = Common.buffer_for_rtts ~capacity_bps ~rtt ~rtts:1.0 in
+  let queue =
+    (* Rebuild the TAQ marker with a capacity-aware config, mirroring
+       the experiment drivers. *)
+    match queue with
+    | Common.Taq _ ->
+        Common.Taq (Common.taq_config ~capacity_bps ~buffer_pkts ())
+    | q -> q
+  in
+  let env = Common.make_env ~faults:plan ~queue ~capacity_bps ~buffer_pkts ~seed () in
+  let completed = ref 0 in
+  for _ = 1 to flows do
+    ignore
+      (Common.spawn_finite_flow env ~segments ~rtt
+         ~on_complete:(fun _time -> incr completed)
+         ())
+  done;
+  Common.run env ~until:duration;
+  let injected, restarts, tracked_before_restart =
+    match env.Common.faults with
+    | None -> (0, 0, 0)
+    | Some inj ->
+        let s = Injector.stats inj in
+        ( Injector.injected_total inj,
+          s.Injector.restarts,
+          s.Injector.tracked_before_restart )
+  in
+  let tracked_at_end =
+    match env.Common.taq with
+    | None -> 0
+    | Some t ->
+        Taq_core.Flow_tracker.tracked_flow_count (Taq_core.Taq_disc.tracker t)
+  in
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if !completed < flows then
+    problem "only %d/%d flows completed by t=%g" !completed flows duration;
+  if Plan.is_empty plan then problem "empty fault plan (nothing to drill)"
+  else if Plan.middlebox_only plan && env.Common.taq = None then
+    problem "restart-only plan against a queue without a middlebox"
+  else if injected = 0 then
+    problem "plan injected no faults (silent no-op scenario)";
+  (match env.Common.taq with
+  | Some _ when restarts > 0 ->
+      if tracked_before_restart = 0 then
+        problem "restart fired but TAQ tracked no flows beforehand";
+      if tracked_at_end = 0 then
+        problem "TAQ did not re-learn any flows after the restart"
+  | Some _ | None -> ());
+  let problems = List.rev !problems in
+  {
+    scenario;
+    queue = Common.queue_name queue;
+    flows;
+    completed = !completed;
+    injected;
+    restarts;
+    tracked_before_restart;
+    tracked_at_end;
+    ok = problems = [];
+    problems;
+  }
+
+let print outcomes =
+  let columns =
+    [ "scenario"; "queue"; "flows"; "done"; "injected"; "restarts";
+      "tracked"; "status" ]
+  in
+  let table = Taq_util.Table.create ~columns in
+  List.iter
+    (fun o ->
+      Taq_util.Table.add_row table
+        [
+          o.scenario;
+          o.queue;
+          string_of_int o.flows;
+          string_of_int o.completed;
+          string_of_int o.injected;
+          string_of_int o.restarts;
+          (if o.restarts > 0 then
+             Printf.sprintf "%d->%d" o.tracked_before_restart o.tracked_at_end
+           else string_of_int o.tracked_at_end);
+          (if o.ok then "ok" else String.concat "; " o.problems);
+        ])
+    outcomes;
+  Taq_util.Table.print table

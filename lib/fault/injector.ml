@@ -1,0 +1,153 @@
+module Sim = Taq_engine.Sim
+module Dumbbell = Taq_net.Dumbbell
+module Link = Taq_net.Link
+module Prng = Taq_util.Prng
+
+type stats = {
+  flaps : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+  acks_delayed : int;
+  restarts : int;
+  tracked_before_restart : int;
+}
+
+type t = {
+  sim : Sim.t;
+  prng : Prng.t;
+  plan : Plan.t;
+  mutable flaps : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable acks_delayed : int;
+  mutable restarts : int;
+  mutable tracked_before_restart : int;
+}
+
+let in_window (w : Plan.window) ~now = w.Plan.from_ <= now && now < w.Plan.until
+
+(* The forward tap walks the plan's windowed clauses in plan order and
+   applies the first one that fires; at most one PRNG draw per active
+   clause per packet, so the decision stream is a pure function of the
+   (deterministic) delivery order. *)
+let fwd_tap t pkt forward =
+  let now = Sim.now t.sim in
+  let rec apply = function
+    | [] -> forward pkt
+    | Plan.Corrupt { w; p } :: rest when in_window w ~now ->
+        if Prng.bernoulli t.prng ~p then t.corrupted <- t.corrupted + 1
+        else apply rest
+    | Plan.Loss { p } :: rest ->
+        if Prng.bernoulli t.prng ~p then t.corrupted <- t.corrupted + 1
+        else apply rest
+    | Plan.Duplicate { w; p } :: rest when in_window w ~now ->
+        if Prng.bernoulli t.prng ~p then begin
+          t.duplicated <- t.duplicated + 1;
+          forward pkt;
+          forward pkt
+        end
+        else apply rest
+    | Plan.Reorder { w; p; delay } :: rest when in_window w ~now ->
+        if Prng.bernoulli t.prng ~p then begin
+          t.reordered <- t.reordered + 1;
+          (* Hold the packet back; packets delivered in the meantime
+             overtake it. The continuation re-resolves the flow at
+             firing time, so a finished flow swallows it. *)
+          ignore (Sim.schedule_after t.sim ~delay (fun () -> forward pkt))
+        end
+        else apply rest
+    | _ :: rest -> apply rest
+  in
+  apply t.plan
+
+let rev_tap t pkt forward =
+  let now = Sim.now t.sim in
+  let delay =
+    List.find_map
+      (function
+        | Plan.Ack_delay { w; delay } when in_window w ~now -> Some delay
+        | _ -> None)
+      t.plan
+  in
+  match delay with
+  | Some delay ->
+      t.acks_delayed <- t.acks_delayed + 1;
+      ignore (Sim.schedule_after t.sim ~delay (fun () -> forward pkt))
+  | None -> forward pkt
+
+let wants_fwd_tap = function
+  | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Loss _ -> true
+  | Plan.Flap _ | Plan.Ack_delay _ | Plan.Restart _ -> false
+
+let wants_rev_tap = function Plan.Ack_delay _ -> true | _ -> false
+
+let install ?taq ~net ~prng plan =
+  let sim = Dumbbell.sim net in
+  let link = Dumbbell.link net in
+  let t =
+    {
+      sim;
+      prng;
+      plan;
+      flaps = 0;
+      corrupted = 0;
+      duplicated = 0;
+      reordered = 0;
+      acks_delayed = 0;
+      restarts = 0;
+      tracked_before_restart = 0;
+    }
+  in
+  if List.exists wants_fwd_tap plan then
+    Dumbbell.set_fwd_interceptor net (Some (fwd_tap t));
+  if List.exists wants_rev_tap plan then
+    Dumbbell.set_rev_interceptor net (Some (rev_tap t));
+  List.iter
+    (function
+      | Plan.Flap { at; down_for } ->
+          ignore
+            (Sim.schedule sim ~at (fun () ->
+                 t.flaps <- t.flaps + 1;
+                 Link.set_up link false));
+          ignore
+            (Sim.schedule sim ~at:(at +. down_for) (fun () ->
+                 Link.set_up link true))
+      | Plan.Restart { at } -> (
+          match taq with
+          | None -> () (* no control-plane state to lose *)
+          | Some disc ->
+              ignore
+                (Sim.schedule sim ~at (fun () ->
+                     t.tracked_before_restart <-
+                       Taq_core.Flow_tracker.tracked_flow_count
+                         (Taq_core.Taq_disc.tracker disc);
+                     Taq_core.Taq_disc.restart disc;
+                     t.restarts <- t.restarts + 1)))
+      | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Ack_delay _
+      | Plan.Loss _ ->
+          ())
+    plan;
+  t
+
+let stats t =
+  {
+    flaps = t.flaps;
+    corrupted = t.corrupted;
+    duplicated = t.duplicated;
+    reordered = t.reordered;
+    acks_delayed = t.acks_delayed;
+    restarts = t.restarts;
+    tracked_before_restart = t.tracked_before_restart;
+  }
+
+let injected_total t =
+  t.flaps + t.corrupted + t.duplicated + t.reordered + t.acks_delayed
+  + t.restarts
+
+let report t =
+  Printf.sprintf
+    "faults: flaps=%d corrupted=%d duplicated=%d reordered=%d acks_delayed=%d \
+     restarts=%d"
+    t.flaps t.corrupted t.duplicated t.reordered t.acks_delayed t.restarts

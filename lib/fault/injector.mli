@@ -1,0 +1,52 @@
+(** Turns a {!Plan.t} into simulator events and delivery-path taps on
+    one network.
+
+    Everything is driven through [Sim] events and the network's
+    delivery interceptors, so a fault scenario is byte-reproducible
+    from its seed: timed faults (flaps, restarts) are scheduled at
+    install time; windowed probabilistic faults (corrupt / dup /
+    reorder / ack-delay / stationary loss) consult the injector's own
+    split PRNG stream per delivered packet, in plan order. Injection
+    composes cleanly with the invariant layer: link flaps pause the
+    transmitter (conservation holds — packets queue), corruption
+    drops happen after the packet has left the link's accounting, and
+    a middlebox restart loses control-plane state only (queued
+    packets survive).
+
+    Every applied fault is counted, so tests can prove injection
+    actually happened ({!injected_total} > 0). *)
+
+type t
+
+type stats = {
+  flaps : int;  (** link-down events applied *)
+  corrupted : int;  (** forward packets dropped (incl. stationary loss) *)
+  duplicated : int;
+  reordered : int;  (** forward packets held back *)
+  acks_delayed : int;  (** return-path packets delayed *)
+  restarts : int;  (** middlebox restarts applied (TAQ present) *)
+  tracked_before_restart : int;
+      (** flows the TAQ tracker held immediately before the most
+          recent restart — proof the restart destroyed live state *)
+}
+
+val install :
+  ?taq:Taq_core.Taq_disc.t ->
+  net:Taq_net.Dumbbell.t ->
+  prng:Taq_util.Prng.t ->
+  Plan.t ->
+  t
+(** Schedule the plan's events on [net]'s simulator and install the
+    delivery taps it needs (none for the empty plan). [taq] enables
+    [restart@T] clauses; without it they are inert (a droptail/RED
+    bottleneck has no control-plane state to lose). [prng] should be a
+    {!Taq_util.Prng.split} of the run's root generator. *)
+
+val stats : t -> stats
+
+val injected_total : t -> int
+(** Sum of every applied-fault counter. *)
+
+val report : t -> string
+(** One line, e.g.
+    ["faults: flaps=1 corrupted=33 duplicated=0 reordered=0 acks_delayed=0 restarts=2"]. *)

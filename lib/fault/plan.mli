@@ -1,0 +1,72 @@
+(** Fault plans: a declarative, seeded description of every adverse
+    event a run injects.
+
+    A plan is a list of fault clauses; {!Injector.install} turns it
+    into simulator events and delivery-path taps. Determinism
+    contract: given one simulated network, one plan and one PRNG
+    state, the injected fault sequence is a pure function of the
+    event order — re-running the same seed reproduces the run byte
+    for byte, under any [--jobs] count, because every probabilistic
+    decision draws from the injector's own split PRNG stream and
+    every timed decision is a [Sim] event.
+
+    Textual grammar (clauses joined with [';']):
+    {v
+    flap@T+D              bottleneck link down at T for D seconds
+    corrupt@A-B:p=P       each forward packet dropped w.p. P in [A,B)
+    dup@A-B:p=P           each forward packet duplicated w.p. P
+    reorder@A-B:p=P,delay=D
+                          each forward packet held back D seconds
+                          w.p. P (later packets overtake it)
+    ackdelay@A-B:delay=D  every return-path packet delayed D seconds
+    restart@T             middlebox (TAQ) control-state loss at T
+    loss:p=P              stationary Bernoulli loss, whole run — the
+                          degenerate plan subsuming External_loss
+    v}
+    e.g. ["flap@1+2;corrupt@5-20:p=0.05;restart@10"]. *)
+
+type window = { from_ : float; until : float }
+
+type fault =
+  | Flap of { at : float; down_for : float }
+  | Corrupt of { w : window; p : float }
+  | Duplicate of { w : window; p : float }
+  | Reorder of { w : window; p : float; delay : float }
+  | Ack_delay of { w : window; delay : float }
+  | Restart of { at : float }
+  | Loss of { p : float }
+
+type t = fault list
+
+val of_string : string -> (t, string) result
+(** Parse the grammar above. The empty string is the empty (no-op)
+    plan. Validation: probabilities in [0, 1], times non-negative,
+    windows non-empty, durations positive. *)
+
+val to_string : t -> string
+(** Canonical rendering; [of_string (to_string p)] round-trips. Used
+    verbatim in sweep task keys, so equal plans hash equally. *)
+
+val horizon : t -> float
+(** Time after which the plan injects nothing more: the latest window
+    end / flap recovery / restart instant. [infinity] when the plan
+    contains a stationary [Loss] clause; [0.] for the empty plan. *)
+
+val is_empty : t -> bool
+
+val middlebox_only : t -> bool
+(** [true] iff the plan is non-empty and every clause is a
+    [Restart] — such a plan injects nothing on a path without a TAQ
+    middlebox, so drill grids skip it for the baseline disciplines. *)
+
+(** {1 Ambient plan}
+
+    Mirrors [Taq_check.Check]'s ambient policy: the CLI installs the
+    parsed [--faults] plan once, before any worker domain spawns;
+    every environment built afterwards (experiments, sweep points,
+    bench targets) picks it up without plumbing changes. *)
+
+val set_ambient : t -> unit
+(** Write-once; raises [Invalid_argument] on a second call. *)
+
+val ambient : unit -> t option

@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  description : string;
+  plan : Plan.t;
+}
+
+let parse_exn s =
+  match Plan.of_string s with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Taq_fault.Scenarios: bad builtin plan: " ^ msg)
+
+let mk name description spec =
+  { name; description; plan = parse_exn spec }
+
+let all =
+  [
+    mk "flap-slow-start"
+      "bottleneck link drops for 2 s while every flow is still in slow \
+       start; all recovery is via RTO backoff from a cold window"
+      "flap@1+2";
+    mk "flap-repeat"
+      "three 1 s link flaps spread across steady state; tests repeated \
+       loss-recovery cycles and RTO re-collapse after each flap"
+      "flap@5+1;flap@12+1;flap@20+1";
+    mk "reorder-during-recovery"
+      "a sharp corruption burst forces flows into recovery, then a long \
+       reordering window (50 ms holdback) perturbs the retransmissions \
+       themselves — dupack/SACK machinery under reordering"
+      "corrupt@4-4.5:p=0.5;reorder@5-15:p=0.3,delay=0.05";
+    mk "middlebox-restart-under-load"
+      "the TAQ box loses flow-tracker, epoch-estimator and admission \
+       state twice mid-run; established flows must be re-learned and \
+       re-classified from their next packets"
+      "restart@8;restart@16";
+    mk "ack-delay-bursts"
+      "two 3 s windows delay every return-path packet by 150 ms, \
+       inflating the measured RTT and firing spurious RTOs"
+      "ackdelay@5-8:delay=0.15;ackdelay@12-15:delay=0.15";
+    mk "corruption-storm"
+      "5% independent forward-path corruption for 15 s — sustained \
+       losses beyond the losses at the TAQ queue (PAPER \194\1674.1)"
+      "corrupt@5-20:p=0.05";
+    mk "duplication-flood"
+      "a quarter of forward packets duplicated for 7 s; receivers see \
+       spurious duplicates, senders see extra (dup)acks"
+      "dup@5-12:p=0.25";
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let plan_of_string s =
+  let s = String.trim s in
+  let lookup name =
+    match find name with
+    | Some sc -> Ok sc.plan
+    | None ->
+        Error
+          (Printf.sprintf "unknown fault scenario %S (known: %s)" name
+             (String.concat ", " names))
+  in
+  let prefix = "scenario:" in
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    lookup (String.sub s plen (String.length s - plen))
+  else
+    match find s with
+    | Some sc -> Ok sc.plan
+    | None -> Plan.of_string s

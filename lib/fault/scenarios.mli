@@ -1,0 +1,31 @@
+(** The canonical fault-scenario registry.
+
+    Each scenario is a named, documented {!Plan.t} exercising one
+    recovery-dynamics regime the paper's claims depend on (lossy,
+    small-packet, middlebox-mediated paths — PAPER §3.3–§4). The
+    registry backs [taq_sim faults] (which runs every scenario and
+    asserts that TCP flows eventually complete and that TAQ
+    re-classifies flows after state loss), the CI fault job, and the
+    golden-scalar fault regressions.
+
+    Times assume the standard drill setting (flows starting at t=0,
+    RTT ≈ 0.1 s, run length tens of seconds); they are plain plans,
+    so any experiment can reuse or rescale them. *)
+
+type t = {
+  name : string;
+  description : string;
+  plan : Plan.t;
+}
+
+val all : t list
+(** The registry, in canonical order. *)
+
+val names : string list
+
+val find : string -> t option
+
+val plan_of_string : string -> (Plan.t, string) result
+(** Resolve a [--faults] argument: a scenario name (optionally
+    written [scenario:NAME]) expands to its registered plan; anything
+    else is parsed with {!Plan.of_string}. *)

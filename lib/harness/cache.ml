@@ -3,12 +3,13 @@ type t = {
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let default_dir = "_results"
 
 let create ?(dir = default_dir) () =
-  { dir; mutex = Mutex.create (); hits = 0; misses = 0 }
+  { dir; mutex = Mutex.create (); hits = 0; misses = 0; evictions = 0 }
 
 let dir t = t.dir
 
@@ -31,9 +32,70 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --- integrity trailer --------------------------------------------------
+
+   Every entry ends with one line:
+
+     TAQCACHEv1 <payload-length> <md5-hex-of-payload>\n
+
+   [find] verifies the trailer on every read and treats any mismatch —
+   truncation, torn write, bit rot, a pre-trailer legacy entry — as a
+   miss: the file is deleted (counted in [evictions]) and the caller
+   recomputes, so a corrupted cache can never serve garbage. *)
+
+let trailer_magic = "TAQCACHEv1"
+
+let trailer payload =
+  Printf.sprintf "%s %d %s\n" trailer_magic (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+
+(* [payload_of_raw raw] is [Some data] iff [raw] is a payload followed
+   by a valid trailer for exactly that payload. The payload is
+   arbitrary bytes (it may contain, or even be, a trailer-shaped
+   line), so the split point cannot be found by scanning for
+   newlines. Instead it is solved for: a payload of length L yields a
+   file of length L + |magic| + 45 - 10 ... concretely
+   L + ndigits(L) + 45 bytes (magic 10, two spaces, digest 32,
+   newline 1), and ndigits is monotone in L while the candidate L
+   decreases as the assumed digit count grows — so at most one digit
+   count d in 1..10 is consistent, and one string compare against the
+   recomputed trailer settles it. *)
+let payload_of_raw raw =
+  let n = String.length raw in
+  let ndigits l = String.length (string_of_int l) in
+  let rec try_digits d =
+    if d > 10 then None
+    else
+      let l = n - 45 - d in
+      if l >= 0 && ndigits l = d then
+        let payload = String.sub raw 0 l in
+        if String.sub raw l (n - l) = trailer payload then Some payload
+        else None
+      else try_digits (d + 1)
+  in
+  try_digits 1
+
+let evict t p =
+  (try Sys.remove p with Sys_error _ -> ());
+  Mutex.lock t.mutex;
+  t.evictions <- t.evictions + 1;
+  Mutex.unlock t.mutex
+
 let find t ~key:k =
   let p = path t ~key:k in
-  if Sys.file_exists p then Some (read_file p) else None
+  if not (Sys.file_exists p) then None
+  else
+    match read_file p with
+    | exception Sys_error _ -> None (* raced with a concurrent evict *)
+    | exception End_of_file -> evict t p; None
+    | raw -> (
+        match payload_of_raw raw with
+        | Some data -> Some data
+        | None ->
+            (* Torn, truncated or legacy entry: self-heal by eviction;
+               the caller recomputes. *)
+            evict t p;
+            None)
 
 let store t ~key:k data =
   mkdirs t.dir;
@@ -47,7 +109,9 @@ let store t ~key:k data =
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc data);
+    (fun () ->
+      output_string oc data;
+      output_string oc (trailer data));
   Sys.rename tmp (path t ~key:k)
 
 let find_or_compute t ~key:k f =
@@ -68,3 +132,5 @@ let find_or_compute t ~key:k f =
 let hits t = t.hits
 
 let misses t = t.misses
+
+let evictions t = t.evictions

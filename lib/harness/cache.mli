@@ -6,7 +6,13 @@
     sweep therefore recomputes only the parameter points whose entries
     are missing; everything else is served from disk and reported as a
     hit. Stores are write-then-rename, so readers never observe torn
-    entries even with concurrent writers. *)
+    entries even with concurrent writers.
+
+    The read path self-heals: every entry carries a
+    [TAQCACHEv1 <length> <md5>] integrity trailer, verified by {!find}
+    on every read. A corrupted, truncated or trailer-less file is
+    deleted (counted in {!evictions}) and reported as a miss, so the
+    sweep recomputes the point instead of serving garbage. *)
 
 type t
 
@@ -24,8 +30,12 @@ val key : parts:string list -> string
     out silently aliases cache entries. *)
 
 val find : t -> key:string -> string option
+(** The entry's payload, with the integrity trailer verified and
+    stripped. [None] on a missing entry — or on a corrupted one,
+    which is evicted from disk first. *)
 
 val store : t -> key:string -> string -> unit
+(** Persist payload + integrity trailer (write-then-rename). *)
 
 val find_or_compute :
   t -> key:string -> (unit -> string) -> [ `Hit | `Miss ] * string
@@ -35,3 +45,7 @@ val find_or_compute :
 val hits : t -> int
 
 val misses : t -> int
+
+val evictions : t -> int
+(** Corrupted entries deleted by {!find} over this instance's
+    lifetime. *)

@@ -2,6 +2,8 @@ type 'a result = {
   key : string;
   value : ('a, string) Stdlib.result;
   elapsed_s : float;
+  attempts : int;
+  timed_out : bool;
 }
 
 (* --- a tiny closeable work queue (Mutex + Condition) ------------------- *)
@@ -58,16 +60,67 @@ end
 
 (* --- execution --------------------------------------------------------- *)
 
-let exec task =
-  let t0 = Unix.gettimeofday () in
-  let value =
+(* One attempt at a task. Without a deadline the task runs inline on
+   the calling (worker) domain, exactly as before. With [timeout_s] the
+   task body runs on a freshly spawned domain while the worker polls an
+   Atomic completion slot against the deadline: OCaml domains cannot be
+   killed, so on timeout the runaway domain is *abandoned* — its
+   eventual result (if any) is discarded, and it dies with the process.
+   Abandoned domains are bounded by the number of timed-out attempts,
+   which is what keeps a hung task from poisoning the sweep: the worker
+   moves on immediately and the hang is recorded, not inherited. *)
+let run_attempt ~timeout_s task =
+  let body () =
     match Task.run task with
     | v -> Ok v
     | exception e -> Error (Printexc.to_string e)
   in
-  { key = Task.key task; value; elapsed_s = Unix.gettimeofday () -. t0 }
+  match timeout_s with
+  | None -> (body (), false)
+  | Some limit ->
+      let slot = Atomic.make None in
+      let d = Domain.spawn (fun () -> Atomic.set slot (Some (body ()))) in
+      let deadline = Unix.gettimeofday () +. limit in
+      let rec wait () =
+        match Atomic.get slot with
+        | Some v ->
+            Domain.join d;
+            (v, false)
+        | None ->
+            if Unix.gettimeofday () >= deadline then
+              (Error (Printf.sprintf "timed out after %gs" limit), true)
+            else begin
+              Unix.sleepf 0.002;
+              wait ()
+            end
+      in
+      wait ()
 
-let run ?(jobs = 1) ?on_done tasks =
+(* Bounded retry with exponential backoff: a failed or timed-out
+   attempt is retried up to [retries] times (sleeping
+   backoff_s · 2^(attempt-1) between attempts); after that the task is
+   quarantined — recorded as [Error] and never retried again. *)
+let exec ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
+  let t0 = Unix.gettimeofday () in
+  let rec go attempt =
+    let value, timed_out = run_attempt ~timeout_s task in
+    match value with
+    | Ok _ -> (value, timed_out, attempt)
+    | Error _ when attempt > retries -> (value, timed_out, attempt)
+    | Error _ ->
+        Unix.sleepf (backoff_s *. (2.0 ** float_of_int (attempt - 1)));
+        go (attempt + 1)
+  in
+  let value, timed_out, attempts = go 1 in
+  {
+    key = Task.key task;
+    value;
+    elapsed_s = Unix.gettimeofday () -. t0;
+    attempts;
+    timed_out;
+  }
+
+let run ?(jobs = 1) ?timeout_s ?retries ?backoff_s ?on_done tasks =
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   let results : 'a result option array = Array.make n None in
@@ -84,9 +137,11 @@ let run ?(jobs = 1) ?on_done tasks =
     | None -> ());
     Mutex.unlock progress_mutex
   in
+  let exec1 task = exec ?timeout_s ?retries ?backoff_s task in
   if jobs <= 1 || n <= 1 then
-    (* Degraded mode: strictly sequential, in-process, no domains. *)
-    Array.iteri (fun i task -> note i (exec task)) tasks
+    (* Degraded mode: strictly sequential, in-process, no domains
+       (except timeout watchdogs, when requested). *)
+    Array.iteri (fun i task -> note i (exec1 task)) tasks
   else begin
     let queue = Work_queue.create () in
     let worker () =
@@ -94,7 +149,7 @@ let run ?(jobs = 1) ?on_done tasks =
         match Work_queue.pop queue with
         | None -> ()
         | Some i ->
-            note i (exec tasks.(i));
+            note i (exec1 tasks.(i));
             loop ()
       in
       loop ()
@@ -118,16 +173,26 @@ let value_exn r =
   | Ok v -> v
   | Error msg -> failwith (Printf.sprintf "task %s failed: %s" r.key msg)
 
+let status r =
+  match (r.value, r.timed_out) with
+  | Ok _, _ when r.attempts > 1 ->
+      Printf.sprintf "ok (retried x%d)" (r.attempts - 1)
+  | Ok _, _ -> "ok"
+  | Error _, true ->
+      if r.attempts > 1 then
+        Printf.sprintf "timeout (%d attempts)" r.attempts
+      else "timeout"
+  | Error msg, false ->
+      if r.attempts > 1 then
+        Printf.sprintf "error (%d attempts): %s" r.attempts msg
+      else "error: " ^ msg
+
 let report ?(columns = [ "task"; "seconds"; "status" ]) results =
   let table = Taq_util.Table.create ~columns in
   List.iter
     (fun r ->
       Taq_util.Table.add_row table
-        [
-          r.key;
-          Printf.sprintf "%.2f" r.elapsed_s;
-          (match r.value with Ok _ -> "ok" | Error msg -> "failed: " ^ msg);
-        ])
+        [ r.key; Printf.sprintf "%.2f" r.elapsed_s; status r ])
     results;
   let total = List.fold_left (fun acc r -> acc +. r.elapsed_s) 0.0 results in
   Taq_util.Table.add_row table

@@ -15,23 +15,49 @@
 type 'a result = {
   key : string;  (** the task's key *)
   value : ('a, string) Stdlib.result;
-      (** [Error] carries [Printexc.to_string] of a task that raised;
-          one failing task does not take down the sweep *)
-  elapsed_s : float;  (** the task's own wall-clock seconds *)
+      (** [Error] carries [Printexc.to_string] of a task that raised,
+          or a ["timed out after Ns"] message; one failing or hung
+          task does not take down the sweep *)
+  elapsed_s : float;
+      (** the task's own wall-clock seconds, across all attempts *)
+  attempts : int;  (** attempts made (1 = succeeded/failed first try) *)
+  timed_out : bool;  (** the final attempt ended at the deadline *)
 }
 
 val run :
   ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
   ?on_done:(completed:int -> total:int -> 'a result -> unit) ->
   'a Task.t list ->
   'a result list
 (** Execute all tasks; results are input-ordered. [on_done] is a
     progress hook invoked under the pool's lock as each task finishes
-    (safe to print from). Default [jobs] is 1. *)
+    (safe to print from). Default [jobs] is 1.
+
+    Resilience knobs:
+    - [timeout_s]: per-task deadline. The attempt body runs on a
+      dedicated domain while the worker polls its completion against
+      the deadline; on expiry the result is [Error "timed out ..."]
+      with [timed_out = true] and the worker moves on. OCaml domains
+      cannot be killed, so the runaway attempt is abandoned (it dies
+      with the process) — the cost of one hung task is one idle
+      domain, never a poisoned sweep.
+    - [retries] (default 0): failed or timed-out attempts are retried
+      up to this many times, sleeping [backoff_s · 2^(attempt-1)]
+      (default [backoff_s = 0.05]) between attempts; after the budget
+      is exhausted the task is quarantined as [Error]. *)
 
 val value_exn : 'a result -> 'a
 (** The task's value, or [Failure] re-raising the recorded error. *)
 
+val status : 'a result -> string
+(** Human-readable status: ["ok"], ["ok (retried xN)"], ["timeout"],
+    ["timeout (N attempts)"], ["error: msg"] or
+    ["error (N attempts): msg"]. *)
+
 val report : ?columns:string list -> 'a result list -> Taq_util.Table.t
 (** A summary table (task, seconds, status) with a trailing total row
-    — print it with {!Taq_util.Table.print}. *)
+    — print it with {!Taq_util.Table.print}. The status column
+    distinguishes ok / retried / timeout / error via {!status}. *)

@@ -6,12 +6,19 @@ type endpoints = {
   deliver_rev : Packet.t -> unit;
 }
 
+type interceptor = Packet.t -> (Packet.t -> unit) -> unit
+
 type t = {
   sim : Sim.t;
   link : Link.t;
   flows : (int, endpoints) Hashtbl.t;
   alloc : Packet.alloc;  (* per-network uid allocation: no globals *)
   mutable next_flow : int;
+  (* Fault-injection taps: interposers on the two delivery paths. The
+     continuation re-resolves the flow at invocation time, so a tap
+     that delays a packet cannot resurrect a finished flow. *)
+  mutable fwd_tap : interceptor option;
+  mutable rev_tap : interceptor option;
 }
 
 (* The flow's propagation RTT is split: a small fixed share ahead of the
@@ -25,16 +32,34 @@ let create ?check ~sim ~capacity_bps ?(link_delay = 0.0) ~disc () =
      instance aggregates counters for the whole network. *)
   let check = match check with Some c -> c | None -> Sim.check sim in
   let flows = Hashtbl.create 64 in
-  let deliver p =
+  let tref = ref None in
+  let forward p =
     match Hashtbl.find_opt flows p.Packet.flow with
     | None -> () (* flow finished; late packet evaporates *)
     | Some ep -> ep.deliver_fwd p
+  in
+  let deliver p =
+    match !tref with
+    | Some { fwd_tap = Some tap; _ } -> tap p forward
+    | Some { fwd_tap = None; _ } | None -> forward p
   in
   let link =
     Link.create ~check ~sim ~capacity_bps ~prop_delay:link_delay ~disc ~deliver
       ()
   in
-  { sim; link; flows; alloc = Packet.alloc (); next_flow = 0 }
+  let t =
+    {
+      sim;
+      link;
+      flows;
+      alloc = Packet.alloc ();
+      next_flow = 0;
+      fwd_tap = None;
+      rev_tap = None;
+    }
+  in
+  tref := Some t;
+  t
 
 let register_flow t ~flow ~rtt_prop ~deliver_fwd ~deliver_rev =
   if Hashtbl.mem t.flows flow then
@@ -59,11 +84,20 @@ let send_fwd t p =
 
 let send_rev t p =
   let d = return_delay t p.Packet.flow in
+  let forward p =
+    match Hashtbl.find_opt t.flows p.Packet.flow with
+    | None -> ()
+    | Some ep -> ep.deliver_rev p
+  in
   ignore
     (Sim.schedule_after t.sim ~delay:d (fun () ->
-         match Hashtbl.find_opt t.flows p.Packet.flow with
-         | None -> ()
-         | Some ep -> ep.deliver_rev p))
+         match t.rev_tap with
+         | Some tap -> tap p forward
+         | None -> forward p))
+
+let set_fwd_interceptor t tap = t.fwd_tap <- tap
+
+let set_rev_interceptor t tap = t.rev_tap <- tap
 
 let packet_alloc t = t.alloc
 

@@ -49,6 +49,23 @@ val send_rev : t -> Packet.t -> unit
 (** Receiver-side transmit (ACKs, SYN-ACKs): pure delay, no
     congestion. *)
 
+type interceptor = Packet.t -> (Packet.t -> unit) -> unit
+(** A delivery interposer: receives the packet and the real delivery
+    continuation, which it may invoke zero times (corruption/loss),
+    once (pass-through or, via {!Taq_engine.Sim.schedule_after},
+    delayed/reordered), or several times (duplication). The
+    continuation re-resolves the flow's endpoints at invocation time,
+    so delayed packets to finished flows evaporate as usual. *)
+
+val set_fwd_interceptor : t -> interceptor option -> unit
+(** Install (or remove) the forward-path tap, applied after the packet
+    has crossed the bottleneck queue, transmission and propagation —
+    i.e. "losses beyond the losses at a TAQ queue" (§4.1). Used by the
+    fault-injection layer; at most one tap is active. *)
+
+val set_rev_interceptor : t -> interceptor option -> unit
+(** Same for the uncongested return path (ACK delay/loss bursts). *)
+
 val packet_alloc : t -> Packet.alloc
 (** The network's packet-uid allocator. Everything injecting packets
     into this network (TCP endpoints, tests) draws uids from here, so

@@ -1,5 +1,15 @@
 (** Bernoulli packet loss injection.
 
+    {b Deprecated} — this module survives as a thin wrapper for
+    callers that need a per-delivery-function Bernoulli gate (the
+    Markov-model validation wires one per flow). New code should use
+    the fault-injection layer instead: the degenerate stationary-loss
+    plan [Taq_fault.Plan.of_string "loss:p=P"] installed through
+    [Taq_fault.Injector] (or [--faults=loss:p=P] on the CLI) applies
+    the same independent loss on the forward path, is seeded from the
+    run's task key, counts its injections, and composes with every
+    other fault kind.
+
     Used to validate the Markov model under a controlled, truly
     independent loss probability [p] (the model's single parameter),
     and to emulate lossy channels outside the middlebox's control

@@ -16,6 +16,12 @@ type t = {
   disc : Disc.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
+  mutable up : bool;
+      (* Fault-injection hook: while [false] the transmitter starts no
+         new transmissions (a packet already on the wire completes).
+         Arrivals keep flowing into the discipline, so queue drops
+         under a down link are the discipline's, preserving the
+         conservation invariant. *)
   mutable offered : int;
   mutable transmitted : int;
   mutable dropped : int;
@@ -44,6 +50,7 @@ let create ?check ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
     disc;
     deliver;
     busy = false;
+    up = true;
     offered = 0;
     transmitted = 0;
     dropped = 0;
@@ -101,7 +108,7 @@ let on_deliver t f = t.deliver_listeners <- f :: t.deliver_listeners
 let tx_time t (p : Packet.t) = float_of_int (p.size * 8) /. t.capacity_bps
 
 let rec start_transmission t =
-  if not t.busy then begin
+  if (not t.busy) && t.up then begin
     match t.disc.Disc.dequeue () with
     | None -> ()
     | Some p ->
@@ -149,6 +156,14 @@ let send t p =
   if accepted then List.iter (fun f -> f p) t.enqueue_listeners;
   start_transmission t;
   if Check.on t.check Check.Net then verify_conservation t ~where:"send"
+
+let set_up t up =
+  let was = t.up in
+  t.up <- up;
+  (* Coming back up: kick the transmitter so queued packets drain. *)
+  if up && not was then start_transmission t
+
+let is_up t = t.up
 
 let stats t =
   {

@@ -34,6 +34,16 @@ val create :
 val send : t -> Packet.t -> unit
 (** Offer a packet to the discipline (and kick the transmitter). *)
 
+val set_up : t -> bool -> unit
+(** Fault-injection hook (see [Taq_fault]): while the link is down the
+    transmitter starts no new transmissions — a packet already on the
+    wire completes, arrivals keep entering the discipline and queue
+    drops are the discipline's, so packet/byte conservation holds
+    throughout a flap. Bringing the link back up kicks the
+    transmitter. Links start up. *)
+
+val is_up : t -> bool
+
 val on_drop : t -> (Packet.t -> unit) -> unit
 (** Register a drop listener (called for every packet the discipline
     drops, after internal accounting). Multiple listeners allowed. *)

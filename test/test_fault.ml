@@ -1,0 +1,420 @@
+(* Tests for taq_fault: the plan DSL (parse / canonical render /
+   validation / horizon), the scenario registry, the injector's
+   determinism and per-kind behaviour (flap, corruption, duplication,
+   ack delay, middlebox restart), the Fault_drill recovery assertions,
+   and a qcheck property: any random finite-horizon plan leaves the
+   simulation terminating, byte-conserving under the Net invariant
+   group, and with every finite flow completed (no perpetual RTO
+   backoff). *)
+
+module Plan = Taq_fault.Plan
+module Scenarios = Taq_fault.Scenarios
+module Injector = Taq_fault.Injector
+module Common = Taq_experiments.Common
+module Fault_drill = Taq_experiments.Fault_drill
+module Check = Taq_check.Check
+
+let ok_plan s =
+  match Plan.of_string s with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "plan %S rejected: %s" s msg
+
+(* --- Plan: parsing ---------------------------------------------------------- *)
+
+let test_plan_empty () =
+  Alcotest.(check bool) "empty string parses" true (Plan.of_string "" = Ok []);
+  Alcotest.(check bool) "empty plan is empty" true (Plan.is_empty (ok_plan ""));
+  Alcotest.(check bool)
+    "non-empty plan is not empty" false
+    (Plan.is_empty (ok_plan "flap@1+2"))
+
+let test_plan_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = ok_plan s in
+      let rendered = Plan.to_string p in
+      match Plan.of_string rendered with
+      | Ok p' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip %S" s)
+            true (p = p')
+      | Error msg ->
+          Alcotest.failf "canonical %S of %S rejected: %s" rendered s msg)
+    [
+      "flap@1+2";
+      "corrupt@5-20:p=0.05";
+      "dup@5-12:p=0.25";
+      "reorder@5-15:p=0.3,delay=0.05";
+      "ackdelay@5-8:delay=0.15";
+      "restart@8";
+      "loss:p=0.02";
+      "flap@1+2;corrupt@5-20:p=0.05;restart@10";
+      " flap@1+2 ; restart@3 ";
+    ]
+
+let test_plan_rejects () =
+  List.iter
+    (fun s ->
+      match Plan.of_string s with
+      | Ok _ -> Alcotest.failf "plan %S should have been rejected" s
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error message non-empty" s)
+            true
+            (String.length msg > 0))
+    [
+      "corrupt@5-20:p=1.5" (* probability out of range *);
+      "corrupt@20-5:p=0.1" (* empty window *);
+      "corrupt@5-5:p=0.1" (* empty window *);
+      "flap@-1+2" (* negative time *);
+      "flap@1+0" (* non-positive duration *);
+      "reorder@5-15:p=0.3,delay=0" (* non-positive delay *);
+      "wobble@3" (* unknown clause *);
+      "loss:p=nope" (* unparsable number *);
+    ];
+  (* Empty clauses (stray/trailing semicolons) are tolerated, not
+     errors: convenient for shell-assembled plan strings. *)
+  Alcotest.(check bool)
+    "stray semicolons tolerated" true
+    (Plan.of_string "flap@1+2;;restart@3;" = Plan.of_string "flap@1+2;restart@3")
+
+let test_plan_horizon () =
+  let close msg a b = Alcotest.(check (float 1e-9)) msg a b in
+  close "flap horizon" 3.0 (Plan.horizon (ok_plan "flap@1+2"));
+  close "window horizon" 20.0 (Plan.horizon (ok_plan "corrupt@5-20:p=0.1"));
+  close "reorder horizon includes holdback" 15.05
+    (Plan.horizon (ok_plan "reorder@5-15:p=0.3,delay=0.05"));
+  close "restart horizon" 8.0 (Plan.horizon (ok_plan "restart@8"));
+  close "empty plan horizon" 0.0 (Plan.horizon (ok_plan ""));
+  Alcotest.(check bool)
+    "stationary loss never ends" true
+    (Plan.horizon (ok_plan "loss:p=0.01") = infinity)
+
+let test_plan_middlebox_only () =
+  Alcotest.(check bool)
+    "restart-only plan" true
+    (Plan.middlebox_only (ok_plan "restart@8;restart@16"));
+  Alcotest.(check bool)
+    "mixed plan" false
+    (Plan.middlebox_only (ok_plan "flap@1+2;restart@8"));
+  Alcotest.(check bool) "empty plan" false (Plan.middlebox_only (ok_plan ""))
+
+(* --- Scenarios -------------------------------------------------------------- *)
+
+let test_scenarios_registry () =
+  Alcotest.(check bool)
+    "registry non-trivial" true
+    (List.length Scenarios.all >= 6);
+  let names = Scenarios.names in
+  Alcotest.(check int)
+    "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %s has a plan" s.Scenarios.name)
+        false
+        (Plan.is_empty s.Scenarios.plan);
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %s described" s.Scenarios.name)
+        true
+        (String.length s.Scenarios.description > 0))
+    Scenarios.all
+
+let test_scenarios_resolution () =
+  let flap =
+    match Scenarios.find "flap-slow-start" with
+    | Some s -> s.Scenarios.plan
+    | None -> Alcotest.fail "flap-slow-start not registered"
+  in
+  Alcotest.(check bool)
+    "bare name resolves" true
+    (Scenarios.plan_of_string "flap-slow-start" = Ok flap);
+  Alcotest.(check bool)
+    "scenario: prefix resolves" true
+    (Scenarios.plan_of_string "scenario:flap-slow-start" = Ok flap);
+  Alcotest.(check bool)
+    "plan expression falls through" true
+    (Scenarios.plan_of_string "flap@1+2" = Ok (ok_plan "flap@1+2"));
+  Alcotest.(check bool)
+    "unknown scenario is an error" true
+    (Result.is_error (Scenarios.plan_of_string "scenario:nope"))
+
+(* --- Link flap (unit) ------------------------------------------------------- *)
+
+let test_link_flap_pauses_transmitter () =
+  let sim = Taq_engine.Sim.create () in
+  let delivered = ref [] in
+  let link =
+    Taq_net.Link.create ~sim ~capacity_bps:400e3 ~prop_delay:0.01
+      ~disc:(Taq_queueing.Droptail.create ~capacity_pkts:50)
+      ~deliver:(fun p ->
+        delivered := (p.Taq_net.Packet.seq, Taq_engine.Sim.now sim) :: !delivered)
+      ()
+  in
+  let alloc = Taq_net.Packet.alloc () in
+  let pkt seq =
+    Taq_net.Packet.make ~alloc ~flow:1 ~kind:Taq_net.Packet.Data ~seq ~size:500
+      ~sent_at:(Taq_engine.Sim.now sim) ()
+  in
+  Alcotest.(check bool) "link starts up" true (Taq_net.Link.is_up link);
+  Taq_net.Link.set_up link false;
+  Taq_net.Link.send link (pkt 0);
+  Taq_net.Link.send link (pkt 1);
+  Taq_engine.Sim.run ~until:5.0 sim;
+  Alcotest.(check int) "nothing delivered while down" 0
+    (List.length !delivered);
+  Alcotest.(check int) "packets queued, not dropped" 2
+    (Taq_net.Link.queue_length link);
+  (* Bring the link back at t=5 and drain. *)
+  ignore
+    (Taq_engine.Sim.schedule sim ~at:5.0 (fun () ->
+         Taq_net.Link.set_up link true));
+  Taq_engine.Sim.run ~until:10.0 sim;
+  Alcotest.(check int) "both delivered after recovery" 2
+    (List.length !delivered);
+  List.iter
+    (fun (_, at) ->
+      Alcotest.(check bool) "delivery after the flap window" true (at >= 5.0))
+    !delivered;
+  let stats = Taq_net.Link.stats link in
+  Alcotest.(check int) "conservation: all transmitted" 2
+    stats.Taq_net.Link.transmitted
+
+(* --- Injector: per-kind behaviour ------------------------------------------- *)
+
+let drill ?(scenario = "test") ?flows ?segments ?duration ~plan ~queue ?seed ()
+    =
+  Fault_drill.run ~scenario ~plan ~queue ?flows ?segments ?duration ?seed ()
+
+let test_injector_deterministic () =
+  let plan = ok_plan "corrupt@2-20:p=0.1;dup@3-10:p=0.1" in
+  let run () = drill ~plan ~queue:Common.Droptail ~seed:7 () in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, identical outcome" true (a = b);
+  Alcotest.(check bool) "injection happened" true (a.Fault_drill.injected > 0);
+  let c = drill ~plan ~queue:Common.Droptail ~seed:8 () in
+  Alcotest.(check bool)
+    "different seed, different fault sequence" true
+    (a.Fault_drill.injected <> c.Fault_drill.injected)
+
+let test_injector_duplicate_all () =
+  (* p=1 duplication: every forward data packet in the window is
+     duplicated, so the counter must be large and the flows must still
+     complete (duplicates are absorbed by TCP). *)
+  let o =
+    drill ~plan:(ok_plan "dup@1-30:p=1") ~queue:Common.Droptail ~flows:4
+      ~segments:100 ()
+  in
+  Alcotest.(check bool) "flows complete" true o.Fault_drill.ok;
+  Alcotest.(check bool)
+    "every windowed packet duplicated" true
+    (o.Fault_drill.injected >= 100)
+
+let test_injector_ack_delay () =
+  let o =
+    drill ~plan:(ok_plan "ackdelay@2-8:delay=0.12") ~queue:Common.Droptail ()
+  in
+  Alcotest.(check bool) "drill ok" true o.Fault_drill.ok;
+  Alcotest.(check bool) "acks were delayed" true (o.Fault_drill.injected > 0)
+
+let test_taq_restart_relearns () =
+  (* Direct unit of the control-plane state loss: run TAQ under load,
+     restart mid-run, and require the tracker to be demonstrably
+     emptied and then repopulated by the surviving flows. *)
+  let capacity_bps = 400e3 in
+  let buffer_pkts = Common.buffer_for_rtts ~capacity_bps ~rtt:0.1 ~rtts:1.0 in
+  let env =
+    Common.make_env ~faults:[]
+      ~queue:(Common.Taq (Common.taq_config ~capacity_bps ~buffer_pkts ()))
+      ~capacity_bps ~buffer_pkts ~seed:3 ()
+  in
+  let t = Option.get env.Common.taq in
+  ignore (Common.spawn_long_flows env ~n:6 ~rtt:0.1 ());
+  Common.run env ~until:5.0;
+  let before =
+    Taq_core.Flow_tracker.tracked_flow_count (Taq_core.Taq_disc.tracker t)
+  in
+  Alcotest.(check bool) "flows tracked before restart" true (before > 0);
+  Taq_core.Taq_disc.restart t;
+  Alcotest.(check int) "state demonstrably lost" 0
+    (Taq_core.Flow_tracker.tracked_flow_count (Taq_core.Taq_disc.tracker t));
+  Common.run env ~until:10.0;
+  let after =
+    Taq_core.Flow_tracker.tracked_flow_count (Taq_core.Taq_disc.tracker t)
+  in
+  Alcotest.(check bool) "flows re-learned after restart" true (after > 0);
+  let st = Taq_core.Taq_disc.stats t in
+  Alcotest.(check int) "restart counted" 1 st.Taq_core.Taq_disc.restarts
+
+(* --- Fault_drill over the registry ------------------------------------------ *)
+
+let test_drill_registry_scenario name queue () =
+  let s =
+    match Scenarios.find name with
+    | Some s -> s
+    | None -> Alcotest.failf "scenario %s not registered" name
+  in
+  let o = Fault_drill.run ~scenario:name ~plan:s.Scenarios.plan ~queue () in
+  if not o.Fault_drill.ok then
+    Alcotest.failf "drill %s/%s failed: %s" name o.Fault_drill.queue
+      (String.concat "; " o.Fault_drill.problems)
+
+let test_drill_restart_proves_relearning () =
+  let s = Option.get (Scenarios.find "middlebox-restart-under-load") in
+  let o =
+    Fault_drill.run ~scenario:s.Scenarios.name ~plan:s.Scenarios.plan
+      ~queue:Common.taq_marker ()
+  in
+  Alcotest.(check bool) "drill ok" true o.Fault_drill.ok;
+  Alcotest.(check int) "both restarts applied" 2 o.Fault_drill.restarts;
+  Alcotest.(check bool)
+    "state was live before the restart" true
+    (o.Fault_drill.tracked_before_restart > 0);
+  Alcotest.(check bool)
+    "flows re-classified after the restart" true
+    (o.Fault_drill.tracked_at_end > 0)
+
+let test_drill_jobs_invariant () =
+  (* The drill fans out over Pool; equal seeds must give identical
+     outcomes at jobs=1 and jobs=4. *)
+  let s = Option.get (Scenarios.find "flap-repeat") in
+  let tasks () =
+    List.map
+      (fun q ->
+        Taq_harness.Task.make
+          ~key:(Printf.sprintf "drill/%s" (Common.queue_name q))
+          (fun ~seed ->
+            Fault_drill.run ~scenario:s.Scenarios.name ~plan:s.Scenarios.plan
+              ~queue:q ~seed ()))
+      [ Common.Droptail; Common.taq_marker ]
+  in
+  let seq = Taq_harness.Pool.run ~jobs:1 (tasks ()) in
+  let par = Taq_harness.Pool.run ~jobs:4 (tasks ()) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        "jobs=1 and jobs=4 byte-identical" true
+        (Taq_harness.Pool.value_exn a = Taq_harness.Pool.value_exn b))
+    seq par
+
+(* --- property: finite plan => termination, conservation, completion --------- *)
+
+let gen_fault =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* at = float_range 0.5 10.0 in
+         let* d = float_range 0.2 2.0 in
+         return (Plan.Flap { at; down_for = d }));
+        (let* a = float_range 0.5 10.0 in
+         let* len = float_range 0.5 8.0 in
+         let* p = float_range 0.01 0.2 in
+         return (Plan.Corrupt { w = { Plan.from_ = a; until = a +. len }; p }));
+        (let* a = float_range 0.5 10.0 in
+         let* len = float_range 0.5 8.0 in
+         let* p = float_range 0.05 0.5 in
+         return (Plan.Duplicate { w = { Plan.from_ = a; until = a +. len }; p }));
+        (let* a = float_range 0.5 10.0 in
+         let* len = float_range 0.5 8.0 in
+         let* p = float_range 0.05 0.4 in
+         let* delay = float_range 0.01 0.1 in
+         return
+           (Plan.Reorder { w = { Plan.from_ = a; until = a +. len }; p; delay }));
+        (let* a = float_range 0.5 10.0 in
+         let* len = float_range 0.5 4.0 in
+         let* delay = float_range 0.02 0.2 in
+         return
+           (Plan.Ack_delay { w = { Plan.from_ = a; until = a +. len }; delay }));
+        (let* at = float_range 0.5 15.0 in
+         return (Plan.Restart { at }));
+      ])
+
+let gen_plan = QCheck.Gen.(list_size (int_range 1 4) gen_fault)
+
+let prop_finite_plan_recovers =
+  QCheck.Test.make ~name:"fault: finite plan => conservation + completion"
+    ~count:12
+    (QCheck.make ~print:(fun p -> Plan.to_string p) gen_plan)
+    (fun plan ->
+      (* Fresh Raise-mode checker on the Net group: byte conservation
+         at the bottleneck is enforced throughout, and any violation
+         raises out of the property. *)
+      let capacity_bps = 400e3 in
+      let buffer_pkts =
+        Common.buffer_for_rtts ~capacity_bps ~rtt:0.1 ~rtts:1.0
+      in
+      let check = Check.create ~mode:Check.Raise ~groups:[ Check.Net ] () in
+      let env =
+        Common.make_env ~check ~faults:plan
+          ~queue:(Common.Taq (Common.taq_config ~capacity_bps ~buffer_pkts ()))
+          ~capacity_bps ~buffer_pkts ~seed:5 ()
+      in
+      let flows = 4 and segments = 100 in
+      let completed = ref 0 in
+      for _ = 1 to flows do
+        ignore
+          (Common.spawn_finite_flow env ~segments ~rtt:0.1
+             ~on_complete:(fun _ -> incr completed)
+             ())
+      done;
+      (* Horizon is bounded by the generators (<= 18s + holdback);
+         120 s of simulated slack is enough for any RTO backoff ladder
+         the plan can cause. The call returning at all is the
+         termination half of the property. *)
+      Common.run env ~until:120.0;
+      !completed = flows && Check.total_violations check = 0)
+
+(* --- suite ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "taq_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "empty" `Quick test_plan_empty;
+          Alcotest.test_case "round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick test_plan_rejects;
+          Alcotest.test_case "horizon" `Quick test_plan_horizon;
+          Alcotest.test_case "middlebox_only" `Quick test_plan_middlebox_only;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "registry well-formed" `Quick
+            test_scenarios_registry;
+          Alcotest.test_case "name resolution" `Quick
+            test_scenarios_resolution;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "link flap pauses transmitter" `Quick
+            test_link_flap_pauses_transmitter;
+          Alcotest.test_case "deterministic from seed" `Quick
+            test_injector_deterministic;
+          Alcotest.test_case "duplication p=1" `Quick
+            test_injector_duplicate_all;
+          Alcotest.test_case "ack delay" `Quick test_injector_ack_delay;
+          Alcotest.test_case "taq restart re-learns" `Quick
+            test_taq_restart_relearns;
+        ] );
+      ( "drill",
+        [
+          Alcotest.test_case "flap-slow-start/droptail" `Quick
+            (test_drill_registry_scenario "flap-slow-start" Common.Droptail);
+          Alcotest.test_case "flap-slow-start/taq" `Quick
+            (test_drill_registry_scenario "flap-slow-start" Common.taq_marker);
+          Alcotest.test_case "corruption-storm/taq" `Quick
+            (test_drill_registry_scenario "corruption-storm" Common.taq_marker);
+          Alcotest.test_case "restart proves re-learning" `Quick
+            test_drill_restart_proves_relearning;
+          Alcotest.test_case "jobs=1 == jobs=4" `Quick
+            test_drill_jobs_invariant;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest
+            ~rand:(Qcheck_seed.rand ~file:"test_fault")
+            prop_finite_plan_recovers;
+        ] );
+    ]

@@ -35,9 +35,10 @@ let n_flows = 12
 let seed = 11
 let horizon = 30.0
 
-let measure queue =
+let measure ?faults queue =
   let env =
-    Common.make_env ~queue ~capacity_bps ~buffer_pkts ~slice:1.0 ~seed ()
+    Common.make_env ?faults ~queue ~capacity_bps ~buffer_pkts ~slice:1.0 ~seed
+      ()
   in
   let flows = Common.spawn_long_flows env ~n:n_flows ~rtt:0.1 () in
   Common.run env ~until:horizon;
@@ -104,6 +105,56 @@ let goldens =
     };
   ]
 
+(* --- the fault golden table ---------------------------------------------
+
+   Same workload, but the bottleneck link flaps for 2 s while every
+   flow is still in slow start (the registry's flap-slow-start plan).
+   Fault injection is seeded from a split of the env's root PRNG, so
+   these scalars pin the whole injector pipeline: a drift in fault
+   timing, in the PRNG split discipline, or in flap/recovery dynamics
+   shows up here as an explicit diff. *)
+
+let flap_plan =
+  match Taq_fault.Plan.of_string "flap@1+2" with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
+let fault_goldens =
+  [
+    {
+      name = "flap/droptail";
+      queue = (fun () -> Common.Droptail);
+      jain = 0.871403;
+      util = 0.932333;
+      loss = 0.103372;
+      drops = 325;
+    };
+    {
+      name = "flap/red";
+      queue = (fun () -> Common.Red);
+      jain = 0.971169;
+      util = 0.932333;
+      loss = 0.125467;
+      drops = 403;
+    };
+    {
+      name = "flap/sfq";
+      queue = (fun () -> Common.Sfq);
+      jain = 0.999527;
+      util = 0.932333;
+      loss = 0.082123;
+      drops = 277;
+    };
+    {
+      name = "flap/taq";
+      queue = (fun () -> taq ~admission:false ());
+      jain = 0.990134;
+      util = 0.932333;
+      loss = 0.145260;
+      drops = 544;
+    };
+  ]
+
 let regen () =
   Printf.printf
     "(* GOLDEN_REGEN output: paste these fields into [goldens]. *)\n";
@@ -113,12 +164,21 @@ let regen () =
       Printf.printf
         "%-10s jain = %.6f;  util = %.6f;  loss = %.6f;  drops = %d;\n" g.name
         jain util loss drops)
-    goldens
+    goldens;
+  Printf.printf
+    "(* GOLDEN_REGEN output: paste these fields into [fault_goldens]. *)\n";
+  List.iter
+    (fun g ->
+      let jain, util, loss, drops = measure ~faults:flap_plan (g.queue ()) in
+      Printf.printf
+        "%-14s jain = %.6f;  util = %.6f;  loss = %.6f;  drops = %d;\n" g.name
+        jain util loss drops)
+    fault_goldens
 
 let tol = 1e-6
 
-let check_golden g () =
-  let jain, util, loss, drops = measure (g.queue ()) in
+let check_golden ?faults g () =
+  let jain, util, loss, drops = measure ?faults (g.queue ()) in
   Alcotest.(check (float tol)) "jain" g.jain jain;
   Alcotest.(check (float tol)) "utilization" g.util util;
   Alcotest.(check (float tol)) "loss rate" g.loss loss;
@@ -133,4 +193,10 @@ let () =
           List.map
             (fun g -> Alcotest.test_case g.name `Slow (check_golden g))
             goldens );
+        ( "fault scalars (flap during slow start)",
+          List.map
+            (fun g ->
+              Alcotest.test_case g.name `Slow
+                (check_golden ~faults:flap_plan g))
+            fault_goldens );
       ]

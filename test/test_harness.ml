@@ -150,6 +150,84 @@ let test_pool_report_table () =
         (contains ~needle out))
     [ "alpha"; "beta"; "total" ]
 
+(* --- Pool: resilience (timeout / retry / quarantine) ------------------------ *)
+
+let test_pool_timeout_quarantines () =
+  let tasks =
+    [
+      Task.make ~key:"fast" (fun ~seed:_ -> 1);
+      Task.make ~key:"slow" (fun ~seed:_ ->
+          Unix.sleepf 3.0;
+          2);
+      Task.make ~key:"fast-2" (fun ~seed:_ -> 3);
+    ]
+  in
+  let results = Pool.run ~jobs:2 ~timeout_s:0.2 tasks in
+  match results with
+  | [ a; b; c ] ->
+      Alcotest.(check int) "fast unaffected by the deadline" 1
+        (Pool.value_exn a);
+      Alcotest.(check int) "fast-2 unaffected" 3 (Pool.value_exn c);
+      Alcotest.(check bool) "slow flagged timed_out" true b.Pool.timed_out;
+      Alcotest.(check int) "single attempt by default" 1 b.Pool.attempts;
+      (match b.Pool.value with
+      | Error msg ->
+          Alcotest.(check bool)
+            "error names the deadline" true
+            (contains ~needle:"timed out" msg)
+      | Ok _ -> Alcotest.fail "hung task reported Ok");
+      Alcotest.(check string) "status renders timeout" "timeout"
+        (Pool.status b)
+  | _ -> Alcotest.fail "expected 3 results"
+
+let test_pool_retry_until_success () =
+  (* Flaky by construction: the first attempt of each task raises, the
+     retry succeeds. Retried tasks must come back Ok with the attempt
+     count recorded. *)
+  let tries = Atomic.make 0 in
+  let results =
+    Pool.run ~jobs:1 ~retries:2 ~backoff_s:0.001
+      [
+        Task.make ~key:"flaky" (fun ~seed:_ ->
+            if Atomic.fetch_and_add tries 1 = 0 then failwith "transient";
+            42);
+      ]
+  in
+  match results with
+  | [ r ] ->
+      Alcotest.(check int) "retried to success" 42 (Pool.value_exn r);
+      Alcotest.(check int) "two attempts recorded" 2 r.Pool.attempts;
+      Alcotest.(check bool) "not a timeout" false r.Pool.timed_out;
+      Alcotest.(check string) "status says retried" "ok (retried x1)"
+        (Pool.status r)
+  | _ -> Alcotest.fail "expected 1 result"
+
+let test_pool_retry_exhausted () =
+  let tries = Atomic.make 0 in
+  let results =
+    Pool.run ~jobs:1 ~retries:1 ~backoff_s:0.001
+      [
+        Task.make ~key:"doomed" (fun ~seed:_ ->
+            Atomic.incr tries;
+            failwith "permanent");
+      ]
+  in
+  match results with
+  | [ r ] ->
+      Alcotest.(check int) "budget honoured: 1 + 1 retries" 2
+        (Atomic.get tries);
+      Alcotest.(check int) "attempts recorded" 2 r.Pool.attempts;
+      (match r.Pool.value with
+      | Error msg ->
+          Alcotest.(check bool)
+            "quarantined with the last error" true
+            (contains ~needle:"permanent" msg)
+      | Ok _ -> Alcotest.fail "doomed task reported Ok");
+      Alcotest.(check bool)
+        "status counts the attempts" true
+        (contains ~needle:"2 attempts" (Pool.status r))
+  | _ -> Alcotest.fail "expected 1 result"
+
 (* --- Capture --------------------------------------------------------------- *)
 
 let test_capture_buffers_output () =
@@ -252,6 +330,157 @@ let test_cache_store_roundtrip () =
         "find returns stored bytes verbatim" (Some payload)
         (Cache.find cache ~key))
 
+(* --- Cache: integrity trailer / self-healing -------------------------------- *)
+
+let entry_path cache ~key = Filename.concat (Cache.dir cache) (key ^ ".txt")
+
+let clobber path f =
+  let raw =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (f raw))
+
+let test_cache_torn_entry_evicted () =
+  with_temp_cache (fun cache ->
+      let key = Cache.key ~parts:[ "torn" ] in
+      Cache.store cache ~key "precious payload";
+      (* Simulate a torn write: drop the tail of the file (part of the
+         payload and the whole trailer). *)
+      clobber (entry_path cache ~key) (fun raw ->
+          String.sub raw 0 (String.length raw / 2));
+      Alcotest.(check (option string))
+        "torn entry reads as a miss" None (Cache.find cache ~key);
+      Alcotest.(check int) "eviction counted" 1 (Cache.evictions cache);
+      Alcotest.(check bool)
+        "torn file removed from disk" false
+        (Sys.file_exists (entry_path cache ~key));
+      (* The standard read path recomputes and re-stores. *)
+      let status, data =
+        Cache.find_or_compute cache ~key (fun () -> "recomputed")
+      in
+      Alcotest.(check bool) "recompute is a miss" true (status = `Miss);
+      Alcotest.(check string) "fresh value" "recomputed" data;
+      Alcotest.(check (option string))
+        "healed entry serves again" (Some "recomputed") (Cache.find cache ~key))
+
+let test_cache_bitrot_evicted () =
+  with_temp_cache (fun cache ->
+      let key = Cache.key ~parts:[ "rot" ] in
+      Cache.store cache ~key "payload-v1";
+      (* Flip payload bytes but keep the length: only the digest can
+         catch this. *)
+      clobber (entry_path cache ~key) (fun raw ->
+          String.mapi (fun i c -> if i < 7 then 'X' else c) raw);
+      Alcotest.(check (option string))
+        "digest mismatch reads as a miss" None (Cache.find cache ~key);
+      Alcotest.(check int) "eviction counted" 1 (Cache.evictions cache))
+
+let test_cache_legacy_entry_evicted () =
+  with_temp_cache (fun cache ->
+      let key = Cache.key ~parts:[ "legacy" ] in
+      (* A pre-trailer entry written by an older harness: raw payload,
+         no trailer line. *)
+      let dir = Cache.dir cache in
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let oc = open_out_bin (entry_path cache ~key) in
+      output_string oc "old-format payload";
+      close_out oc;
+      Alcotest.(check (option string))
+        "legacy entry not trusted" None (Cache.find cache ~key);
+      Alcotest.(check int) "evicted, will recompute" 1
+        (Cache.evictions cache))
+
+let test_cache_trailer_roundtrips_tricky_payloads () =
+  with_temp_cache (fun cache ->
+      List.iteri
+        (fun i payload ->
+          let key = Cache.key ~parts:[ "tricky"; string_of_int i ] in
+          Cache.store cache ~key payload;
+          Alcotest.(check (option string))
+            (Printf.sprintf "payload %d verbatim" i)
+            (Some payload) (Cache.find cache ~key))
+        [
+          "";
+          "\n";
+          "ends with newline\n";
+          "TAQCACHEv1 0 d41d8cd98f00b204e9800998ecf8427e\n";
+          (* a payload that is itself a valid trailer line *)
+          "no trailing newline";
+          String.make 4096 '\xab';
+        ];
+      Alcotest.(check int) "no spurious evictions" 0 (Cache.evictions cache))
+
+(* --- chaos: crash + hang + corrupted cache in one sweep --------------------- *)
+
+let test_chaos_sweep_still_correct () =
+  (* The acceptance scenario from the robustness issue: one crashing
+     task, one hanging task and one corrupted cache entry, all in the
+     same sweep — every healthy point must still come back correct. *)
+  with_temp_cache (fun cache ->
+      let healthy = [ "p0"; "p1"; "p2"; "p3" ] in
+      let value_of key = "value:" ^ key in
+      (* Pre-populate two entries, then corrupt one of them. *)
+      let hash key = Cache.key ~parts:[ key ] in
+      Cache.store cache ~key:(hash "p0") (value_of "p0");
+      Cache.store cache ~key:(hash "p1") (value_of "p1");
+      clobber (entry_path cache ~key:(hash "p1")) (fun raw -> "XX" ^ raw);
+      let computed = ref [] in
+      let task_of key =
+        Task.make ~key (fun ~seed:_ ->
+            computed := key :: !computed;
+            value_of key)
+      in
+      (* Cache probe first (as the sweep driver does), then the pool
+         runs the misses plus the two unhealthy tasks. *)
+      let to_run =
+        List.filter
+          (fun key -> Cache.find cache ~key:(hash key) = None)
+          healthy
+      in
+      Alcotest.(check (list string))
+        "corrupted entry joins the misses" [ "p1"; "p2"; "p3" ] to_run;
+      let tasks =
+        List.map task_of to_run
+        @ [
+            Task.make ~key:"chaos/crash" (fun ~seed:_ ->
+                failwith "chaos crash");
+            Task.make ~key:"chaos/hang" (fun ~seed:_ ->
+                Unix.sleepf 3.0;
+                "unreachable");
+          ]
+      in
+      let results = Pool.run ~jobs:4 ~timeout_s:0.3 ~retries:1 tasks in
+      List.iter
+        (fun (r : string Pool.result) ->
+          match r.Pool.key with
+          | "chaos/crash" ->
+              Alcotest.(check bool)
+                "crash quarantined" true
+                (Result.is_error r.Pool.value)
+          | "chaos/hang" ->
+              Alcotest.(check bool) "hang timed out" true r.Pool.timed_out
+          | key ->
+              if not (List.mem key to_run) then
+                Alcotest.failf "unexpected task %s" key;
+              Cache.store cache ~key:(hash key) (Pool.value_exn r))
+        results;
+      (* Every healthy point now serves its correct value. *)
+      List.iter
+        (fun key ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "point %s correct after the chaos" key)
+            (Some (value_of key))
+            (Cache.find cache ~key:(hash key)))
+        healthy;
+      Alcotest.(check int) "the corrupted entry was evicted once" 1
+        (Cache.evictions cache))
+
 (* --- property: parallel == sequential -------------------------------------- *)
 
 (* Tasks print a deterministic function of their key and seed into a
@@ -313,6 +542,12 @@ let () =
           Alcotest.test_case "on_done progress" `Quick
             test_pool_on_done_progress;
           Alcotest.test_case "report table" `Quick test_pool_report_table;
+          Alcotest.test_case "timeout quarantines" `Quick
+            test_pool_timeout_quarantines;
+          Alcotest.test_case "retry until success" `Quick
+            test_pool_retry_until_success;
+          Alcotest.test_case "retry budget exhausted" `Quick
+            test_pool_retry_exhausted;
         ] );
       ( "capture",
         [
@@ -330,6 +565,19 @@ let () =
             test_cache_key_sensitivity;
           Alcotest.test_case "store roundtrip" `Quick
             test_cache_store_roundtrip;
+          Alcotest.test_case "torn entry self-heals" `Quick
+            test_cache_torn_entry_evicted;
+          Alcotest.test_case "bit rot evicted" `Quick
+            test_cache_bitrot_evicted;
+          Alcotest.test_case "legacy entry evicted" `Quick
+            test_cache_legacy_entry_evicted;
+          Alcotest.test_case "trailer round-trips tricky payloads" `Quick
+            test_cache_trailer_roundtrips_tricky_payloads;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "crash+hang+corruption sweep" `Quick
+            test_chaos_sweep_still_correct;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_harness") prop_parallel_matches_sequential ] );

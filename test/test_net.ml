@@ -214,6 +214,29 @@ let test_external_loss_zero () =
   done;
   Alcotest.(check int) "all pass at p=0" 1000 !delivered
 
+let test_external_loss_seed_deterministic () =
+  (* The legacy gate and its fault-plan replacement share the same
+     seeding contract: equal seeds produce the identical drop
+     sequence, different seeds (almost surely) do not. *)
+  let drop_pattern ~seed =
+    let prng = Taq_util.Prng.create ~seed in
+    let el = External_loss.create ~prng ~p:0.3 in
+    let pattern = Buffer.create 256 in
+    let f = External_loss.wrap el (fun _ -> Buffer.add_char pattern '.') in
+    for _ = 1 to 200 do
+      let before = External_loss.dropped el in
+      f (mk_pkt ());
+      if External_loss.dropped el > before then Buffer.add_char pattern 'x'
+    done;
+    Buffer.contents pattern
+  in
+  Alcotest.(check string)
+    "equal seeds, identical drop sequence" (drop_pattern ~seed:77)
+    (drop_pattern ~seed:77);
+  Alcotest.(check bool)
+    "distinct seeds, distinct sequences" true
+    (drop_pattern ~seed:77 <> drop_pattern ~seed:78)
+
 
 (* --- Overlay (controlled-loss virtual link) ------------------------------- *)
 
@@ -447,6 +470,8 @@ let () =
         [
           Alcotest.test_case "rate" `Quick test_external_loss_rate;
           Alcotest.test_case "zero" `Quick test_external_loss_zero;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_external_loss_seed_deterministic;
         ] );
       ( "overlay",
         [
