@@ -9,12 +9,24 @@
      dune exec bench/main.exe -- --jobs 4     # figures on a Domain pool
      dune exec bench/main.exe -- micro        # bechamel microbenchmarks
 
-   Every run also writes BENCH.json: machine-readable per-target
-   wall-clock seconds. *)
+   Every run also writes BENCH.json: per-target wall-clock seconds plus
+   the deterministic observability counters captured around each target
+   (counters are on by default here; --obs=off disables them). The
+   regression gate compares that document against a committed baseline:
+
+     dune exec bench/main.exe -- --compare bench/BASELINE.json
+     dune exec bench/main.exe -- --compare bench/BASELINE.json --tolerance 25
+     dune exec bench/main.exe -- --write-baseline bench/BASELINE.json
+
+   Counters must match exactly (they are deterministic under fixed
+   seeds and independent of --jobs); wall-clock is only gated when a
+   tolerance is supplied. *)
 
 open Taq_experiments
 module Pool = Taq_harness.Pool
 module Task = Taq_harness.Task
+module Obs = Taq_obs.Obs
+module Regression = Taq_obs.Regression
 
 let section title = Printf.printf "\n==== %s ====\n\n%!" title
 
@@ -114,45 +126,13 @@ let micro ~full =
     (List.sort compare !rows);
   Taq_util.Table.print ~oc:stdout table
 
-(* --- BENCH.json ----------------------------------------------------------- *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let write_bench_json ~path ~full ~jobs timings =
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n  \"scale\": \"%s\",\n  \"jobs\": %d,\n  \"targets\": [\n"
-    (if full then "full" else "quick")
-    jobs;
-  let n = List.length timings in
-  List.iteri
-    (fun i (name, seconds) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n"
-        (json_escape name) seconds
-        (if i = n - 1 then "" else ","))
-    timings;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "\nwrote %s (%d targets)\n%!" path n
-
 (* --- driver ---------------------------------------------------------------- *)
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--full] [--jobs N] [--check[=GROUPS]] [--faults=PLAN] \
-     [TARGET...]\n\
+    "usage: main.exe [--quick|--full] [--jobs N] [--check[=GROUPS]] \
+     [--faults=PLAN] [--obs[=SPEC]] [--compare BASELINE.json] \
+     [--tolerance PCT] [--write-baseline PATH] [TARGET...]\n\
      known targets: %s, micro\n"
     (String.concat ", " Registry.names);
   exit 2
@@ -175,23 +155,68 @@ let enable_faults spec =
       Printf.eprintf "%s\n" msg;
       exit 2
 
+(* [--obs[=SPEC]] overrides the default counters policy: the bench
+   needs counters for BENCH.json, but --obs=trace:PATH buys a Chrome
+   trace of the figure pipelines and --obs=off measures the true
+   zero-instrumentation wall-clock. *)
+let enable_obs spec =
+  match Obs.policy_of_spec spec with
+  | Ok p -> Obs.set_policy p
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+type opts = {
+  full : bool;
+  jobs : int;
+  names : string list;
+  compare_path : string option;
+  tolerance : float option;
+  baseline_out : string option;
+}
+
 let parse_args args =
-  let full = ref false and jobs = ref 1 and names = ref [] in
+  let full = ref false
+  and jobs = ref 1
+  and names = ref []
+  and obs_set = ref false
+  and compare_path = ref None
+  and tolerance = ref None
+  and baseline_out = ref None in
+  let prefixed prefix arg =
+    let n = String.length prefix in
+    if String.length arg > n && String.sub arg 0 n = prefix then
+      Some (String.sub arg n (String.length arg - n))
+    else None
+  in
+  let set_tolerance s =
+    match float_of_string_opt s with
+    | Some pct when pct >= 0.0 -> tolerance := Some pct
+    | _ -> usage ()
+  in
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
         full := true;
         go rest
+    | "--quick" :: rest ->
+        full := false;
+        go rest
     | "--check" :: rest ->
         enable_check "all";
         go rest
-    | arg :: rest
-      when String.length arg > 8 && String.sub arg 0 8 = "--check=" ->
-        enable_check (String.sub arg 8 (String.length arg - 8));
+    | "--obs" :: rest ->
+        obs_set := true;
+        enable_obs "counters";
         go rest
-    | arg :: rest
-      when String.length arg > 9 && String.sub arg 0 9 = "--faults=" ->
-        enable_faults (String.sub arg 9 (String.length arg - 9));
+    | "--compare" :: path :: rest ->
+        compare_path := Some path;
+        go rest
+    | "--tolerance" :: pct :: rest ->
+        set_tolerance pct;
+        go rest
+    | "--write-baseline" :: path :: rest ->
+        baseline_out := Some path;
         go rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
@@ -199,25 +224,66 @@ let parse_args args =
             jobs := n;
             go rest
         | _ -> usage ())
-    | arg :: rest
-      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
-        match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
-        | Some n when n >= 1 ->
-            jobs := n;
+    | arg :: rest -> (
+        match
+          ( prefixed "--check=" arg,
+            prefixed "--faults=" arg,
+            prefixed "--obs=" arg,
+            prefixed "--compare=" arg,
+            prefixed "--tolerance=" arg,
+            prefixed "--write-baseline=" arg,
+            prefixed "--jobs=" arg )
+        with
+        | Some spec, _, _, _, _, _, _ ->
+            enable_check spec;
             go rest
-        | _ -> usage ())
-    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
-    | name :: rest ->
-        names := name :: !names;
-        go rest
+        | _, Some spec, _, _, _, _, _ ->
+            enable_faults spec;
+            go rest
+        | _, _, Some spec, _, _, _, _ ->
+            obs_set := true;
+            enable_obs spec;
+            go rest
+        | _, _, _, Some path, _, _, _ ->
+            compare_path := Some path;
+            go rest
+        | _, _, _, _, Some pct, _, _ ->
+            set_tolerance pct;
+            go rest
+        | _, _, _, _, _, Some path, _ ->
+            baseline_out := Some path;
+            go rest
+        | _, _, _, _, _, _, Some n -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 ->
+                jobs := n;
+                go rest
+            | _ -> usage ())
+        | None, None, None, None, None, None, None ->
+            if String.length arg > 1 && arg.[0] = '-' then usage ()
+            else begin
+              names := arg :: !names;
+              go rest
+            end)
   in
   go args;
-  (!full, !jobs, List.rev !names)
+  (* Counters on by default: BENCH.json carries per-target deterministic
+     counters so the regression gate has something exact to compare. *)
+  if not !obs_set then enable_obs "counters";
+  {
+    full = !full;
+    jobs = !jobs;
+    names = List.rev !names;
+    compare_path = !compare_path;
+    tolerance = !tolerance;
+    baseline_out = !baseline_out;
+  }
 
 let () =
-  let full, jobs, selected = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let full = opts.full and jobs = opts.jobs in
   let want_micro, registry_names =
-    match selected with
+    match opts.names with
     | [] -> (true, Registry.names)
     | names -> (List.mem "micro" names, List.filter (( <> ) "micro") names)
   in
@@ -253,7 +319,7 @@ let () =
             r.Pool.elapsed_s)
       tasks
   in
-  let timings = ref [] in
+  let bench_targets = ref [] in
   List.iter2
     (fun t r ->
       section (Printf.sprintf "%s: %s" t.Registry.name t.Registry.description);
@@ -261,13 +327,62 @@ let () =
       | Ok outcome -> print_string outcome.Registry.output
       | Error msg -> Printf.printf "TARGET FAILED: %s\n" msg);
       Printf.printf "\n[%.1f s]\n%!" r.Pool.elapsed_s;
-      timings := (t.Registry.name, r.Pool.elapsed_s) :: !timings)
+      bench_targets :=
+        Regression.make_target ~name:t.Registry.name ~seconds:r.Pool.elapsed_s
+          ~snapshot:r.Pool.obs
+        :: !bench_targets)
     targets results;
   if want_micro then begin
     let t0 = Unix.gettimeofday () in
     micro ~full;
     let dt = Unix.gettimeofday () -. t0 in
     Printf.printf "\n[%.1f s]\n%!" dt;
-    timings := ("micro", dt) :: !timings
+    (* The micro target carries no counters: bechamel picks its own
+       iteration counts adaptively, so any counters it touched would be
+       nondeterministic and break the exact-match gate. *)
+    bench_targets :=
+      Regression.make_target ~name:"micro" ~seconds:dt
+        ~snapshot:Obs.empty_snapshot
+      :: !bench_targets
   end;
-  write_bench_json ~path:"BENCH.json" ~full ~jobs (List.rev !timings)
+  let bench =
+    {
+      Regression.scale = (if full then "full" else "quick");
+      jobs;
+      targets = List.rev !bench_targets;
+    }
+  in
+  Regression.save ~path:"BENCH.json" bench;
+  Printf.printf "\nwrote BENCH.json (%d targets)\n%!"
+    (List.length bench.Regression.targets);
+  (match opts.baseline_out with
+  | None -> ()
+  | Some path ->
+      Regression.save ~path bench;
+      Printf.printf "wrote %s (baseline)\n%!" path);
+  (* A Chrome trace, when --obs=trace:PATH asked for one: merge every
+     target's ring with whatever the main domain traced. *)
+  (match Obs.trace_path () with
+  | None -> ()
+  | Some path ->
+      let merged =
+        Obs.merge_all
+          (Obs.root_snapshot () :: List.map (fun r -> r.Pool.obs) results)
+      in
+      Taq_obs.Trace.write_file ~path merged.Obs.events;
+      Printf.printf "wrote %s (%d trace events)\n%!" path
+        (List.length merged.Obs.events));
+  match opts.compare_path with
+  | None -> ()
+  | Some baseline_path -> (
+      match
+        Regression.compare_files ?tolerance_pct:opts.tolerance ~baseline_path
+          ~current_path:"BENCH.json" ()
+      with
+      | Ok notes ->
+          Printf.printf "\nbench gate vs %s: PASS\n" baseline_path;
+          List.iter (fun n -> Printf.printf "  %s\n" n) notes
+      | Error failures ->
+          Printf.printf "\nbench gate vs %s: FAIL\n" baseline_path;
+          List.iter (fun f -> Printf.printf "  %s\n" f) failures;
+          exit 1)

@@ -14,6 +14,7 @@ open Cmdliner
 open Taq_experiments
 module Harness = Taq_harness
 module Check = Taq_check.Check
+module Obs = Taq_obs.Obs
 module Fault_plan = Taq_fault.Plan
 module Scenarios = Taq_fault.Scenarios
 
@@ -42,6 +43,47 @@ let setup_check spec =
           Check.set_policy ~mode:Check.Raise ~groups ();
           Ok true
       | Error msg -> Error msg)
+
+(* --- observability ----------------------------------------------------- *)
+
+(* [--obs] / [--obs=SPEC] installs the ambient observability policy
+   before any simulation (or worker domain) starts, mirroring --check:
+   every environment built afterwards carries deterministic perf
+   counters (and, with trace, a Chrome trace_event ring). *)
+let obs_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "counters") (some string) None
+    & info [ "obs" ] ~docv:"SPEC"
+        ~doc:
+          "Enable perf observability. $(docv) is a comma-separated list of \
+           $(b,counters) (deterministic event counters — the default), \
+           $(b,trace) or $(b,trace:PATH) (Chrome trace_event JSON of the \
+           simulated timeline, default path taq.trace.json; implies \
+           counters) and $(b,off). Counters are deterministic: equal seeds \
+           print equal values for any --jobs count.")
+
+let setup_obs spec =
+  match spec with
+  | None -> Ok false
+  | Some s -> (
+      match Obs.policy_of_spec s with
+      | Ok p ->
+          Obs.set_policy p;
+          Ok (Obs.policy_enabled ())
+      | Error msg -> Error msg)
+
+(* Print the counter report and, when tracing was requested, write the
+   Chrome trace file from a merged snapshot. *)
+let finish_obs snap =
+  print_string (Obs.report snap);
+  match Obs.trace_path () with
+  | None -> ()
+  | Some path ->
+      Taq_obs.Trace.write_file ~path snap.Obs.events;
+      Printf.printf "  chrome trace: %d event(s) written to %s\n"
+        (List.length snap.Obs.events)
+        path
 
 (* --- fault injection --------------------------------------------------- *)
 
@@ -84,10 +126,13 @@ let experiment_cmd =
   let full_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-fidelity parameters.")
   in
-  let run name full check faults =
+  let run name full check obs faults =
     match setup_check check with
     | Error msg -> `Error (false, msg)
     | Ok enabled -> (
+        match setup_obs obs with
+        | Error msg -> `Error (false, msg)
+        | Ok obs_enabled -> (
         match setup_faults faults with
         | Error msg -> `Error (false, msg)
         | Ok _plan -> (
@@ -97,17 +142,19 @@ let experiment_cmd =
               t.Registry.run ~full;
               if enabled then
                 Printf.eprintf "invariant checks: clean (experiment %s)\n" name;
+              if obs_enabled then finish_obs (Obs.root_snapshot ());
               `Ok ()
             with Check.Violation msg ->
               `Error (false, Printf.sprintf "invariant violation: %s" msg))
         | None ->
             `Error
               (false, Printf.sprintf "unknown experiment %S (known: %s)" name
-                        (String.concat ", " Registry.names))))
+                        (String.concat ", " Registry.names)))))
   in
   let doc = "Reproduce one of the paper's figures" in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(ret (const run $ name_arg $ full_arg $ check_arg $ faults_arg))
+    Term.(
+      ret (const run $ name_arg $ full_arg $ check_arg $ obs_arg $ faults_arg))
 
 (* --- sim ---------------------------------------------------------------- *)
 
@@ -169,10 +216,14 @@ let sim_cmd =
             "Record every enqueue/drop/delivery at the bottleneck and write \
              the packet log as CSV to $(docv).")
   in
-  let run queue capacity flows rtt duration buffer_rtts seed pcap check faults =
+  let run queue capacity flows rtt duration buffer_rtts seed pcap check obs
+      faults =
    match setup_check check with
    | Error msg -> `Error (false, msg)
    | Ok check_enabled ->
+   match setup_obs obs with
+   | Error msg -> `Error (false, msg)
+   | Ok obs_enabled ->
    match setup_faults faults with
    | Error msg -> `Error (false, msg)
    | Ok _plan ->
@@ -240,6 +291,7 @@ let sim_cmd =
     | None -> ()
     | Some inj -> Printf.printf "  %s\n" (Taq_fault.Injector.report inj));
     if check_enabled then print_string (Check.report env.Common.check);
+    if obs_enabled then finish_obs (Obs.snapshot env.Common.obs);
     `Ok ()
    with Check.Violation msg ->
      `Error (false, Printf.sprintf "invariant violation: %s" msg))
@@ -249,7 +301,7 @@ let sim_cmd =
     Term.(
       ret
         (const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts
-       $ seed $ pcap $ check_arg $ faults_arg))
+       $ seed $ pcap $ check_arg $ obs_arg $ faults_arg))
 
 (* --- sweep ---------------------------------------------------------------- *)
 
@@ -375,7 +427,7 @@ let sweep_cmd =
              --timeout-s (the hanging task is only bounded by the deadline).")
   in
   let run queues capacities fair_shares reps rtt duration buffer_rtts jobs
-      results_dir no_cache timeout_s retries chaos check faults =
+      results_dir no_cache timeout_s retries chaos check obs faults =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else if chaos && timeout_s = None then
       `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
@@ -383,6 +435,9 @@ let sweep_cmd =
       match setup_check check with
       | Error msg -> `Error (false, msg)
       | Ok check_enabled ->
+      match setup_obs obs with
+      | Error msg -> `Error (false, msg)
+      | Ok obs_enabled ->
       match setup_faults faults with
       | Error msg -> `Error (false, msg)
       | Ok fault_plan ->
@@ -531,6 +586,22 @@ let sweep_cmd =
       Printf.printf "\ncache: %d hits, %d misses%s (dir: %s)\n" !hits !misses
         (if no_cache then " [cache disabled]" else "")
         results_dir;
+      if obs_enabled then begin
+        (* Per-task snapshots (collected by the pool around each
+           attempt) merged in input order, plus the root collector
+           (instances created outside any task, e.g. the cache).
+           Integer sums commute, so --jobs 4 prints exactly what
+           --jobs 1 prints. *)
+        let task_snaps =
+          List.filter_map
+            (fun (key, _, _, _, _) ->
+              Option.map
+                (fun (r : string Harness.Pool.result) -> r.Harness.Pool.obs)
+                (Hashtbl.find_opt by_key key))
+            points
+        in
+        finish_obs (Obs.merge_all (Obs.root_snapshot () :: task_snaps))
+      end;
       if !failures > 0 then
         `Error (false, Printf.sprintf "%d sweep point(s) failed" !failures)
       else begin
@@ -547,7 +618,7 @@ let sweep_cmd =
       ret
         (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
        $ buffer_rtts $ jobs $ results_dir $ no_cache $ timeout_s $ retries
-       $ chaos $ check_arg $ faults_arg))
+       $ chaos $ check_arg $ obs_arg $ faults_arg))
 
 (* --- faults --------------------------------------------------------------- *)
 
@@ -582,7 +653,7 @@ let faults_cmd =
           ~doc:"Worker domains. Drills are seeded from their task keys, so \
                 outcomes are byte-identical for any jobs count.")
   in
-  let run list_flag scenario queues jobs check =
+  let run list_flag scenario queues jobs check obs =
     if list_flag then begin
       List.iter
         (fun s ->
@@ -596,6 +667,9 @@ let faults_cmd =
       match setup_check check with
       | Error msg -> `Error (false, msg)
       | Ok check_enabled -> (
+          match setup_obs obs with
+          | Error msg -> `Error (false, msg)
+          | Ok obs_enabled -> (
           let scenarios =
             match scenario with
             | None -> Ok Scenarios.all
@@ -655,6 +729,14 @@ let faults_cmd =
                   List.map Harness.Pool.value_exn results
                 in
                 Fault_drill.print outcomes;
+                if obs_enabled then
+                  finish_obs
+                    (Obs.merge_all
+                       (Obs.root_snapshot ()
+                       :: List.map
+                            (fun (r : _ Harness.Pool.result) ->
+                              r.Harness.Pool.obs)
+                            results));
                 let bad =
                   List.filter (fun o -> not o.Fault_drill.ok) outcomes
                 in
@@ -679,11 +761,14 @@ let faults_cmd =
               with
               | Check.Violation msg ->
                   `Error (false, Printf.sprintf "invariant violation: %s" msg)
-              | Failure msg -> `Error (false, msg)))
+              | Failure msg -> `Error (false, msg))))
   in
   let doc = "Run the canonical fault-scenario registry and assert recovery" in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(ret (const run $ list_flag $ scenario $ queues $ jobs $ check_arg))
+    Term.(
+      ret
+        (const run $ list_flag $ scenario $ queues $ jobs $ check_arg
+       $ obs_arg))
 
 (* --- model --------------------------------------------------------------- *)
 

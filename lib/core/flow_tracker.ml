@@ -26,9 +26,23 @@ type t = {
   config : Taq_config.t;
   now : unit -> float;
   flows : (int, flow) Hashtbl.t;
+  (* Pre-resolved observability counters (dummy refs when obs is off,
+     so the rare-event hot paths below stay branch-free). *)
+  obs_flows_created : int ref;
+  obs_evictions : int ref;
 }
 
-let create ~config ~now = { config; now; flows = Hashtbl.create 256 }
+let create ?obs ~config ~now () =
+  let obs =
+    match obs with Some o -> o | None -> Taq_obs.Obs.ambient ()
+  in
+  {
+    config;
+    now;
+    flows = Hashtbl.create 256;
+    obs_flows_created = Taq_obs.Obs.labeled_ref obs "tracker.flows_created";
+    obs_evictions = Taq_obs.Obs.labeled_ref obs "tracker.evictions";
+  }
 
 let new_flow t ~id ~pool =
   {
@@ -57,6 +71,7 @@ let lookup t ~flow ~pool =
   | None ->
       let f = new_flow t ~id:flow ~pool in
       Hashtbl.replace t.flows flow f;
+      incr t.obs_flows_created;
       f
 
 let roll_one_epoch f ~epoch =
@@ -141,7 +156,10 @@ let tick t =
       if now -. f.last_seen > t.config.Taq_config.flow_idle_timeout then
         expired := id :: !expired)
     t.flows;
-  List.iter (Hashtbl.remove t.flows) !expired
+  List.iter (Hashtbl.remove t.flows) !expired;
+  (match !expired with
+  | [] -> ()
+  | l -> t.obs_evictions := !(t.obs_evictions) + List.length l)
 
 let with_flow t ~flow ~default f =
   match Hashtbl.find_opt t.flows flow with None -> default | Some fl -> f fl

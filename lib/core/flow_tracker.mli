@@ -14,7 +14,10 @@ type t
 
 type classification = New_data | Retransmission
 
-val create : config:Taq_config.t -> now:(unit -> float) -> t
+val create :
+  ?obs:Taq_obs.Obs.t -> config:Taq_config.t -> now:(unit -> float) -> unit -> t
+(** [obs] (default [Taq_obs.Obs.ambient ()]) receives the
+    [tracker.flows_created] and [tracker.evictions] labeled counters. *)
 
 val observe_syn : t -> flow:int -> pool:int -> unit
 (** A SYN reached the queue (starts epoch estimation for the flow). *)

@@ -2,6 +2,7 @@ module Sim = Taq_engine.Sim
 module Packet = Taq_net.Packet
 module Disc = Taq_net.Disc
 module Check = Taq_check.Check
+module Obs = Taq_obs.Obs
 
 let log_src = Logs.Src.create "taq" ~doc:"TAQ middlebox decisions"
 
@@ -31,6 +32,10 @@ type t = {
   drop_counts : (Taq_queues.class_, int) Hashtbl.t;
   check : Check.t;
   chk_pools : (int, unit) Hashtbl.t;  (* pool keys seen, check-only *)
+  obs : Obs.t;
+  obs_last_class : (int, Taq_queues.class_) Hashtbl.t;
+      (* last class each flow's data was queued into — maintained only
+         when obs is enabled, to count class transitions *)
 }
 
 (* Scheduling rank used only to decide push-out: an arrival may evict a
@@ -42,15 +47,18 @@ let rank = function
       1
   | Taq_queues.Above_fair_share -> 2
 
-let create ?check ~sim ~config () =
+let create ?check ?obs ~sim ~config () =
   let check = match check with Some c -> c | None -> Sim.check sim in
+  let obs = match obs with Some o -> o | None -> Sim.obs sim in
   let now () = Sim.now sim in
   {
     check;
     chk_pools = Hashtbl.create 16;
+    obs;
+    obs_last_class = Hashtbl.create 64;
     sim;
     config;
-    tracker = Flow_tracker.create ~config ~now;
+    tracker = Flow_tracker.create ~obs ~config ~now ();
     admission =
       Option.map
         (fun a -> Admission.create ~config:a ~now)
@@ -75,13 +83,19 @@ let create ?check ~sim ~config () =
    re-establish. *)
 let restart t =
   let now () = Sim.now t.sim in
-  t.tracker <- Flow_tracker.create ~config:t.config ~now;
+  t.tracker <- Flow_tracker.create ~obs:t.obs ~config:t.config ~now ();
   t.admission <-
     Option.map
       (fun a -> Admission.create ~config:a ~now)
       t.config.Taq_config.admission;
   Hashtbl.reset t.chk_pools;
+  (* The box forgot every flow: class transitions restart from scratch
+     too, mirroring the control-plane state loss. *)
+  Hashtbl.reset t.obs_last_class;
   t.n_restarts <- t.n_restarts + 1;
+  if Obs.enabled t.obs then Obs.labeled t.obs "taq.restarts" 1;
+  if Obs.tracing t.obs then
+    Obs.instant t.obs ~name:"restart" ~cat:"taq" ~ts_s:(Sim.now t.sim) ();
   Log.debug (fun m ->
       m "t=%.3f middlebox restart #%d: tracker and admission state lost"
         (Sim.now t.sim) t.n_restarts)
@@ -150,7 +164,9 @@ let lazy_tick t =
 let count_drop t cls =
   t.n_dropped <- t.n_dropped + 1;
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.drop_counts cls) in
-  Hashtbl.replace t.drop_counts cls (prev + 1)
+  Hashtbl.replace t.drop_counts cls (prev + 1);
+  if Obs.enabled t.obs then
+    Obs.labeled t.obs ("taq.drop." ^ Taq_queues.class_to_string cls) 1
 
 let pool_key (p : Packet.t) = if p.pool >= 0 then p.pool else -p.flow - 2
 
@@ -230,6 +246,7 @@ let enqueue_syn t (p : Packet.t) =
   if not admission_ok then begin
     t.n_admission_rejected <- t.n_admission_rejected + 1;
     t.n_dropped <- t.n_dropped + 1;
+    if Obs.enabled t.obs then Obs.labeled t.obs "taq.admission_rejected" 1;
     Log.debug (fun m ->
         m "t=%.3f admission rejected SYN flow=%d pool=%d" (Sim.now t.sim)
           p.Packet.flow p.Packet.pool);
@@ -259,6 +276,25 @@ let enqueue_data t (p : Packet.t) =
     then Taq_queues.Below_fair_share
     else cls
   in
+  if Obs.enabled t.obs then begin
+    (match Hashtbl.find_opt t.obs_last_class p.flow with
+    | Some prev when prev = cls -> ()
+    | Some prev ->
+        Obs.labeled t.obs
+          (Printf.sprintf "taq.transition.%s_to_%s"
+             (Taq_queues.class_to_string prev)
+             (Taq_queues.class_to_string cls))
+          1;
+        if Obs.tracing t.obs then
+          Obs.instant t.obs
+            ~name:
+              (Printf.sprintf "%s->%s"
+                 (Taq_queues.class_to_string prev)
+                 (Taq_queues.class_to_string cls))
+            ~cat:"taq" ~flow:p.flow ~ts_s:(Sim.now t.sim) ()
+    | None -> ());
+    Hashtbl.replace t.obs_last_class p.flow cls
+  end;
   let priority =
     match cls with
     | Taq_queues.Recovery ->

@@ -23,6 +23,7 @@ type stats = {
 
 val create :
   ?check:Taq_check.Check.t ->
+  ?obs:Taq_obs.Obs.t ->
   sim:Taq_engine.Sim.t ->
   config:Taq_config.t ->
   unit ->
@@ -30,7 +31,11 @@ val create :
 (** [check] defaults to the simulator's checker; the [Core] group
     verifies class-sum vs aggregate packet/byte accounting, buffer
     occupancy bounds, recovery-queue ordering, and flow-tracker /
-    admission entry counts after every operation. *)
+    admission entry counts after every operation. [obs] defaults to the
+    simulator's observability instance and receives the labeled
+    [taq.drop.<class>], [taq.transition.<from>_to_<to>],
+    [taq.admission_rejected] and [taq.restarts] counters (plus trace
+    instants for restarts and class moves when tracing). *)
 
 val disc : t -> Taq_net.Disc.t
 (** The discipline to install on a {!Taq_net.Link}. *)

@@ -4,20 +4,27 @@ type 'a t = {
   mutable entries : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  mutable max_size : int;
+      (* high-water mark since creation (or the last [clear]); two int
+         ops per push, so it is maintained unconditionally and the
+         observability layer reads it for free *)
 }
 
 (* A dummy slot is never read: indices >= size are garbage. We grow by
    doubling and never shrink (heaps in a simulation stay warm). *)
 
-let create () = { entries = [||]; size = 0; next_seq = 0 }
+let create () = { entries = [||]; size = 0; next_seq = 0; max_size = 0 }
 
 let is_empty t = t.size = 0
 
 let size t = t.size
 
+let max_size t = t.max_size
+
 let clear t =
   t.entries <- [||];
-  t.size <- 0
+  t.size <- 0;
+  t.max_size <- 0
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -37,6 +44,7 @@ let push t ~time payload =
   (* Sift up. *)
   let i = ref t.size in
   t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size;
   t.entries.(!i) <- entry;
   let continue = ref true in
   while !continue && !i > 0 do

@@ -11,6 +11,10 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 
+val max_size : 'a t -> int
+(** High-water mark of {!size} since creation (or the last {!clear}) —
+    the observability layer exports it as a gauge. *)
+
 val push : 'a t -> time:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option

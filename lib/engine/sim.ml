@@ -1,4 +1,5 @@
 module Check = Taq_check.Check
+module Obs = Taq_obs.Obs
 
 type handle = { mutable cancelled : bool; mutable fired : bool }
 
@@ -8,13 +9,17 @@ type t = {
   mutable clock : float;
   calendar : event Event_heap.t;
   check : Check.t;
+  obs : Obs.t;
 }
 
-let create ?check () =
+let create ?check ?obs () =
   let check = match check with Some c -> c | None -> Check.ambient () in
-  { clock = 0.0; calendar = Event_heap.create (); check }
+  let obs = match obs with Some o -> o | None -> Obs.ambient () in
+  { clock = 0.0; calendar = Event_heap.create (); check; obs }
 
 let check t = t.check
+
+let obs t = t.obs
 
 let now t = t.clock
 
@@ -24,6 +29,11 @@ let schedule t ~at f =
       (Printf.sprintf "Sim.schedule: at=%g is before now=%g" at t.clock);
   let h = { cancelled = false; fired = false } in
   Event_heap.push t.calendar ~time:at { h; action = f };
+  if Obs.enabled t.obs then begin
+    Obs.incr t.obs Obs.Events_scheduled;
+    Obs.incr t.obs Obs.Heap_push;
+    Obs.gauge_max t.obs Obs.Heap_max_depth (Event_heap.size t.calendar)
+  end;
   h
 
 let schedule_after t ~delay f =
@@ -52,6 +62,11 @@ let step t =
         | None -> ()
       end;
       t.clock <- time;
+      if Obs.enabled t.obs then begin
+        Obs.incr t.obs Obs.Heap_pop;
+        Obs.incr t.obs
+          (if ev.h.cancelled then Obs.Events_skipped else Obs.Events_executed)
+      end;
       if not ev.h.cancelled then begin
         ev.h.fired <- true;
         ev.action ()

@@ -11,14 +11,20 @@ type handle
 (** A scheduled event, usable for cancellation (e.g. TCP retransmission
     timers that are re-armed on every ACK). *)
 
-val create : ?check:Taq_check.Check.t -> unit -> t
+val create : ?check:Taq_check.Check.t -> ?obs:Taq_obs.Obs.t -> unit -> t
 (** A simulator with the clock at 0. [check] (default
     [Taq_check.Check.ambient ()]) enables the [Engine] invariant group:
     clock monotonicity and event heap ordering verified on every
-    {!step}. *)
+    {!step}. [obs] (default [Taq_obs.Obs.ambient ()]) receives the
+    scheduler counters ([sim.events_*], [sim.heap_*]); components built
+    on this simulator default their own observability instance from it
+    so one env shares one instance. *)
 
 val check : t -> Taq_check.Check.t
 (** The invariant checker this simulator was created with. *)
+
+val obs : t -> Taq_obs.Obs.t
+(** The observability instance this simulator was created with. *)
 
 val now : t -> float
 (** Current simulation time in seconds. *)

@@ -7,6 +7,7 @@ module Tcp_sender = Taq_tcp.Tcp_sender
 module Taq_config = Taq_core.Taq_config
 module Taq_disc = Taq_core.Taq_disc
 module Check = Taq_check.Check
+module Obs = Taq_obs.Obs
 
 type queue = Droptail | Red | Sfq | Drr | Taq of Taq_config.t
 
@@ -26,6 +27,7 @@ type env = {
   evolution : Taq_metrics.Flow_evolution.t;
   prng : Taq_util.Prng.t;
   check : Check.t;
+  obs : Obs.t;
   faults : Taq_fault.Injector.t option;
 }
 
@@ -38,12 +40,15 @@ let taq_config ?(admission = false) ~capacity_bps ~buffer_pkts () =
     Taq_config.with_admission ~capacity_pkts:buffer_pkts ~capacity_bps
   else Taq_config.default ~capacity_pkts:buffer_pkts ~capacity_bps
 
-let make_env ?check ?faults ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
-    ?(evolution_window = 5.0) ?(seed = 1) () =
+let make_env ?check ?obs ?faults ~queue ~capacity_bps ~buffer_pkts
+    ?(slice = 20.0) ?(evolution_window = 5.0) ?(seed = 1) () =
   (* One checker per environment: the simulator, link, TAQ middlebox and
-     every TCP sender share it, so counters aggregate in one place. *)
+     every TCP sender share it, so counters aggregate in one place. The
+     observability instance works the same way: one per env, shared by
+     the simulator, link, discipline and fault injector via [Sim.obs]. *)
   let check = match check with Some c -> c | None -> Check.ambient () in
-  let sim = Sim.create ~check () in
+  let obs = match obs with Some o -> o | None -> Obs.ambient () in
+  let sim = Sim.create ~check ~obs () in
   let prng = Taq_util.Prng.create ~seed in
   let taq = ref None in
   let disc =
@@ -64,6 +69,10 @@ let make_env ?check ?faults ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
      (including TAQ itself) when the Queueing group is on; [wrap]
      returns [disc] unchanged otherwise. *)
   let disc = Taq_queueing.Checked.wrap ~check disc in
+  (* Counter instrumentation goes outermost so it observes exactly the
+     operations the link performs (including shadow-model rejections
+     were the checker ever to alter behaviour — it must not). *)
+  let disc = Taq_queueing.Observed.wrap ~obs disc in
   let net = Dumbbell.create ~check ~sim ~capacity_bps ~disc () in
   let loss = Taq_metrics.Loss_monitor.attach (Dumbbell.link net) in
   (* Fault injection: an explicit plan wins; otherwise the ambient
@@ -90,6 +99,7 @@ let make_env ?check ?faults ~queue ~capacity_bps ~buffer_pkts ?(slice = 20.0)
     evolution = Taq_metrics.Flow_evolution.create ~window:evolution_window;
     prng;
     check;
+    obs;
     faults;
   }
 

@@ -23,6 +23,9 @@ type env = {
   check : Taq_check.Check.t;
       (** the env-wide invariant checker (shared by sim, link, queue
           and TCP senders) *)
+  obs : Taq_obs.Obs.t;
+      (** the env-wide observability instance (shared the same way);
+          snapshot it with [Taq_obs.Obs.snapshot] after a run *)
   faults : Taq_fault.Injector.t option;
       (** present when a fault plan (explicit or ambient [--faults])
           was installed on this environment *)
@@ -30,6 +33,7 @@ type env = {
 
 val make_env :
   ?check:Taq_check.Check.t ->
+  ?obs:Taq_obs.Obs.t ->
   ?faults:Taq_fault.Plan.t ->
   queue:queue ->
   capacity_bps:float ->
@@ -45,7 +49,11 @@ val make_env :
     separate domains. [check] (default [Taq_check.Check.ambient ()])
     instruments every layer; when the Queueing group is enabled the
     installed discipline is additionally wrapped in
-    {!Taq_queueing.Checked} shadow-model cross-checking. [faults]
+    {!Taq_queueing.Checked} shadow-model cross-checking. [obs]
+    (default [Taq_obs.Obs.ambient ()]) threads one observability
+    instance through the simulator, link, discipline (via
+    {!Taq_queueing.Observed}) and fault injector; pass an explicit
+    instance to isolate a single env's counters. [faults]
     (default [Taq_fault.Plan.ambient ()], i.e. the CLI's [--faults]
     plan when one was installed) attaches a fault injector to the
     bottleneck, seeded from a split of the env's root PRNG; fault-free

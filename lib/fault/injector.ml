@@ -2,6 +2,7 @@ module Sim = Taq_engine.Sim
 module Dumbbell = Taq_net.Dumbbell
 module Link = Taq_net.Link
 module Prng = Taq_util.Prng
+module Obs = Taq_obs.Obs
 
 type stats = {
   flaps : int;
@@ -17,6 +18,7 @@ type t = {
   sim : Sim.t;
   prng : Prng.t;
   plan : Plan.t;
+  obs : Obs.t;
   mutable flaps : int;
   mutable corrupted : int;
   mutable duplicated : int;
@@ -28,6 +30,14 @@ type t = {
 
 let in_window (w : Plan.window) ~now = w.Plan.from_ <= now && now < w.Plan.until
 
+(* Observability hook: each injected fault bumps a [fault.<kind>]
+   labeled counter and, when tracing, drops an instant on the fault
+   track so injections line up with link spans in the trace viewer. *)
+let fired t kind =
+  if Obs.enabled t.obs then Obs.labeled t.obs ("fault." ^ kind) 1;
+  if Obs.tracing t.obs then
+    Obs.instant t.obs ~name:kind ~cat:"fault" ~ts_s:(Sim.now t.sim) ()
+
 (* The forward tap walks the plan's windowed clauses in plan order and
    applies the first one that fires; at most one PRNG draw per active
    clause per packet, so the decision stream is a pure function of the
@@ -37,14 +47,21 @@ let fwd_tap t pkt forward =
   let rec apply = function
     | [] -> forward pkt
     | Plan.Corrupt { w; p } :: rest when in_window w ~now ->
-        if Prng.bernoulli t.prng ~p then t.corrupted <- t.corrupted + 1
+        if Prng.bernoulli t.prng ~p then begin
+          t.corrupted <- t.corrupted + 1;
+          fired t "corrupt"
+        end
         else apply rest
     | Plan.Loss { p } :: rest ->
-        if Prng.bernoulli t.prng ~p then t.corrupted <- t.corrupted + 1
+        if Prng.bernoulli t.prng ~p then begin
+          t.corrupted <- t.corrupted + 1;
+          fired t "loss"
+        end
         else apply rest
     | Plan.Duplicate { w; p } :: rest when in_window w ~now ->
         if Prng.bernoulli t.prng ~p then begin
           t.duplicated <- t.duplicated + 1;
+          fired t "duplicate";
           forward pkt;
           forward pkt
         end
@@ -52,6 +69,7 @@ let fwd_tap t pkt forward =
     | Plan.Reorder { w; p; delay } :: rest when in_window w ~now ->
         if Prng.bernoulli t.prng ~p then begin
           t.reordered <- t.reordered + 1;
+          fired t "reorder";
           (* Hold the packet back; packets delivered in the meantime
              overtake it. The continuation re-resolves the flow at
              firing time, so a finished flow swallows it. *)
@@ -74,6 +92,7 @@ let rev_tap t pkt forward =
   match delay with
   | Some delay ->
       t.acks_delayed <- t.acks_delayed + 1;
+      fired t "ack_delay";
       ignore (Sim.schedule_after t.sim ~delay (fun () -> forward pkt))
   | None -> forward pkt
 
@@ -91,6 +110,7 @@ let install ?taq ~net ~prng plan =
       sim;
       prng;
       plan;
+      obs = Sim.obs sim;
       flaps = 0;
       corrupted = 0;
       duplicated = 0;
@@ -110,6 +130,7 @@ let install ?taq ~net ~prng plan =
           ignore
             (Sim.schedule sim ~at (fun () ->
                  t.flaps <- t.flaps + 1;
+                 fired t "flap";
                  Link.set_up link false));
           ignore
             (Sim.schedule sim ~at:(at +. down_for) (fun () ->
@@ -124,7 +145,8 @@ let install ?taq ~net ~prng plan =
                        Taq_core.Flow_tracker.tracked_flow_count
                          (Taq_core.Taq_disc.tracker disc);
                      Taq_core.Taq_disc.restart disc;
-                     t.restarts <- t.restarts + 1)))
+                     t.restarts <- t.restarts + 1;
+                     fired t "restart")))
       | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Ack_delay _
       | Plan.Loss _ ->
           ())

@@ -4,12 +4,29 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* Observability mirrors of the three counters above, resolved once
+     at creation (ambient instance → the root collector, since caches
+     are created on the main domain). Bumped only inside this cache's
+     mutex sections, so cross-domain updates are already serialized. *)
+  obs_hits : int ref;
+  obs_misses : int ref;
+  obs_evictions : int ref;
 }
 
 let default_dir = "_results"
 
 let create ?(dir = default_dir) () =
-  { dir; mutex = Mutex.create (); hits = 0; misses = 0; evictions = 0 }
+  let obs = Taq_obs.Obs.ambient () in
+  {
+    dir;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    obs_hits = Taq_obs.Obs.labeled_ref obs "cache.hits";
+    obs_misses = Taq_obs.Obs.labeled_ref obs "cache.misses";
+    obs_evictions = Taq_obs.Obs.labeled_ref obs "cache.evictions";
+  }
 
 let dir t = t.dir
 
@@ -79,6 +96,7 @@ let evict t p =
   (try Sys.remove p with Sys_error _ -> ());
   Mutex.lock t.mutex;
   t.evictions <- t.evictions + 1;
+  incr t.obs_evictions;
   Mutex.unlock t.mutex
 
 let find t ~key:k =
@@ -119,6 +137,7 @@ let find_or_compute t ~key:k f =
   | Some data ->
       Mutex.lock t.mutex;
       t.hits <- t.hits + 1;
+      incr t.obs_hits;
       Mutex.unlock t.mutex;
       (`Hit, data)
   | None ->
@@ -126,6 +145,7 @@ let find_or_compute t ~key:k f =
       store t ~key:k data;
       Mutex.lock t.mutex;
       t.misses <- t.misses + 1;
+      incr t.obs_misses;
       Mutex.unlock t.mutex;
       (`Miss, data)
 

@@ -4,6 +4,7 @@ type 'a result = {
   elapsed_s : float;
   attempts : int;
   timed_out : bool;
+  obs : Taq_obs.Obs.snapshot;
 }
 
 (* --- a tiny closeable work queue (Mutex + Condition) ------------------- *)
@@ -70,25 +71,33 @@ end
    which is what keeps a hung task from poisoning the sweep: the worker
    moves on immediately and the hang is recorded, not inherited. *)
 let run_attempt ~timeout_s task =
+  (* Each attempt runs under its own observability collector, so the
+     snapshot covers exactly the ambient instances the task created —
+     on whichever domain the body happens to execute. *)
   let body () =
-    match Task.run task with
-    | v -> Ok v
-    | exception e -> Error (Printexc.to_string e)
+    Taq_obs.Obs.collecting (fun () ->
+        match Task.run task with
+        | v -> Ok v
+        | exception e -> Error (Printexc.to_string e))
   in
   match timeout_s with
-  | None -> (body (), false)
+  | None ->
+      let value, snap = body () in
+      (value, snap, false)
   | Some limit ->
       let slot = Atomic.make None in
       let d = Domain.spawn (fun () -> Atomic.set slot (Some (body ()))) in
       let deadline = Unix.gettimeofday () +. limit in
       let rec wait () =
         match Atomic.get slot with
-        | Some v ->
+        | Some (value, snap) ->
             Domain.join d;
-            (v, false)
+            (value, snap, false)
         | None ->
             if Unix.gettimeofday () >= deadline then
-              (Error (Printf.sprintf "timed out after %gs" limit), true)
+              ( Error (Printf.sprintf "timed out after %gs" limit),
+                Taq_obs.Obs.empty_snapshot,
+                true )
             else begin
               Unix.sleepf 0.002;
               wait ()
@@ -103,21 +112,25 @@ let run_attempt ~timeout_s task =
 let exec ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
   let t0 = Unix.gettimeofday () in
   let rec go attempt =
-    let value, timed_out = run_attempt ~timeout_s task in
+    let value, snap, timed_out = run_attempt ~timeout_s task in
     match value with
-    | Ok _ -> (value, timed_out, attempt)
-    | Error _ when attempt > retries -> (value, timed_out, attempt)
+    | Ok _ -> (value, snap, timed_out, attempt)
+    | Error _ when attempt > retries -> (value, snap, timed_out, attempt)
     | Error _ ->
         Unix.sleepf (backoff_s *. (2.0 ** float_of_int (attempt - 1)));
         go (attempt + 1)
   in
-  let value, timed_out, attempts = go 1 in
+  (* Only the final attempt's snapshot is kept: retried attempts were
+     discarded wholesale, and keeping their counters would make totals
+     depend on how often this machine happened to fail. *)
+  let value, obs, timed_out, attempts = go 1 in
   {
     key = Task.key task;
     value;
     elapsed_s = Unix.gettimeofday () -. t0;
     attempts;
     timed_out;
+    obs;
   }
 
 let run ?(jobs = 1) ?timeout_s ?retries ?backoff_s ?on_done tasks =

@@ -22,6 +22,12 @@ type 'a result = {
       (** the task's own wall-clock seconds, across all attempts *)
   attempts : int;  (** attempts made (1 = succeeded/failed first try) *)
   timed_out : bool;  (** the final attempt ended at the deadline *)
+  obs : Taq_obs.Obs.snapshot;
+      (** observability snapshot of the final attempt (empty on
+          timeout, or when no obs policy is installed). Each attempt
+          runs under its own collector ([Taq_obs.Obs.collecting]), so
+          summing these per-task snapshots in input order yields
+          totals independent of [jobs] *)
 }
 
 val run :

@@ -1,5 +1,6 @@
 module Sim = Taq_engine.Sim
 module Check = Taq_check.Check
+module Obs = Taq_obs.Obs
 
 type stats = {
   offered : int;
@@ -33,6 +34,7 @@ type t = {
   (* Conservation bookkeeping, maintained only when the [Net] check
      group is enabled. *)
   check : Check.t;
+  obs : Obs.t;
   mutable chk_accepted : int;
   mutable chk_bytes_accepted : int;
   mutable chk_pushout : int;
@@ -40,9 +42,10 @@ type t = {
   mutable chk_tx_size : int;  (** size of the packet on the wire, if busy *)
 }
 
-let create ?check ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
+let create ?check ?obs ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
   if capacity_bps <= 0.0 then invalid_arg "Link.create: capacity";
   let check = match check with Some c -> c | None -> Check.ambient () in
+  let obs = match obs with Some o -> o | None -> Sim.obs sim in
   {
     sim;
     capacity_bps;
@@ -60,6 +63,7 @@ let create ?check ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
     enqueue_listeners = [];
     deliver_listeners = [];
     check;
+    obs;
     chk_accepted = 0;
     chk_bytes_accepted = 0;
     chk_pushout = 0;
@@ -121,6 +125,13 @@ let rec start_transmission t =
                t.transmitted <- t.transmitted + 1;
                t.bytes_transmitted <- t.bytes_transmitted + p.Packet.size;
                t.busy_time <- t.busy_time +. dt;
+               if Obs.enabled t.obs then begin
+                 Obs.incr t.obs Obs.Link_transmitted;
+                 Obs.add t.obs Obs.Link_bytes_tx p.Packet.size
+               end;
+               if Obs.tracing t.obs then
+                 Obs.span t.obs ~name:"tx" ~cat:"link" ~flow:p.Packet.flow
+                   ~ts_s:(Sim.now t.sim -. dt) ~dur_s:dt ();
                if Check.on t.check Check.Net then
                  verify_conservation t ~where:"tx-complete";
                ignore
@@ -135,6 +146,16 @@ let send t p =
   let dropped = t.disc.Disc.enqueue p in
   let n_dropped = List.length dropped in
   t.dropped <- t.dropped + n_dropped;
+  if Obs.enabled t.obs then begin
+    Obs.incr t.obs Obs.Link_offered;
+    if n_dropped > 0 then Obs.add t.obs Obs.Link_dropped n_dropped
+  end;
+  if Obs.tracing t.obs && n_dropped > 0 then
+    List.iter
+      (fun (d : Packet.t) ->
+        Obs.instant t.obs ~name:"drop" ~cat:"drop" ~flow:d.flow
+          ~ts_s:(Sim.now t.sim) ())
+      dropped;
   List.iter (fun d -> List.iter (fun f -> f d) t.drop_listeners) dropped;
   (* The offered packet was accepted iff it is not among the drops. *)
   let accepted = not (List.exists (fun d -> d.Packet.uid = p.Packet.uid) dropped) in

@@ -18,6 +18,7 @@ type stats = {
 
 val create :
   ?check:Taq_check.Check.t ->
+  ?obs:Taq_obs.Obs.t ->
   sim:Taq_engine.Sim.t ->
   capacity_bps:float ->
   prop_delay:float ->
@@ -29,7 +30,9 @@ val create :
     propagation. [check] (default [Taq_check.Check.ambient ()]) enables
     the [Net] group: packet and byte conservation
     ([accepted = transmitted + on_wire + pushed_out + queued]) verified
-    after every send and transmission completion. *)
+    after every send and transmission completion. [obs] (default
+    [Taq_engine.Sim.obs sim]) receives the [link.*] counters and, when
+    tracing, a span per transmission and an instant per drop. *)
 
 val send : t -> Packet.t -> unit
 (** Offer a packet to the discipline (and kick the transmitter). *)

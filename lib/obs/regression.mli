@@ -1,0 +1,47 @@
+(** [BENCH.json] documents and the bench-regression gate.
+
+    The bench harness writes one {!target} per figure target:
+    wall-clock seconds (noisy), deterministic {!Obs} counters/gauges
+    (exact under fixed seeds) and GC minor words (noisy). The gate
+    ({!diff}) fails when any deterministic counter drifts {e at all}
+    against a committed baseline, and — only when a tolerance is
+    supplied — when wall-clock regresses beyond it. CI runs the gate
+    counters-only so it never flakes on machine speed. *)
+
+type target = {
+  name : string;
+  seconds : float;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  gc_minor_words : float;
+}
+
+type bench = { scale : string; jobs : int; targets : target list }
+
+val make_target :
+  name:string -> seconds:float -> snapshot:Obs.snapshot -> target
+
+val to_json : bench -> Json.t
+val of_string : string -> (bench, string) result
+val load : path:string -> (bench, string) result
+val save : path:string -> bench -> unit
+
+val diff :
+  ?tolerance_pct:float ->
+  baseline:bench ->
+  current:bench ->
+  unit ->
+  (string list, string list) result
+(** [Ok notes] when every baseline target present in [current] matches
+    it exactly on counters and gauges (missing keys count as 0) and,
+    when [tolerance_pct] is given, each target's seconds are within
+    [baseline * (1 + pct/100)]. [Error failures] otherwise. A scale
+    mismatch (quick vs full) is a failure; a baseline target that was
+    not run is only a note. *)
+
+val compare_files :
+  ?tolerance_pct:float ->
+  baseline_path:string ->
+  current_path:string ->
+  unit ->
+  (string list, string list) result

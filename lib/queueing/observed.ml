@@ -1,0 +1,47 @@
+module Obs = Taq_obs.Obs
+module Disc = Taq_net.Disc
+module Packet = Taq_net.Packet
+
+(* Counter instrumentation for queue disciplines, the observability
+   twin of [Checked.wrap]: when [obs] is disabled the inner discipline
+   is returned unchanged (zero overhead); when enabled every operation
+   bumps pre-resolved labeled-counter refs, so the hot path is four int
+   increments and no hashtable lookups. *)
+
+let wrap ~obs (inner : Disc.t) =
+  if not (Obs.enabled obs) then inner
+  else begin
+    let label op = Printf.sprintf "disc.%s.%s" inner.Disc.name op in
+    let enq = Obs.labeled_ref obs (label "enqueue") in
+    let deq = Obs.labeled_ref obs (label "dequeue") in
+    let drop = Obs.labeled_ref obs (label "drop") in
+    let bytes_in = Obs.labeled_ref obs (label "bytes_enqueued") in
+    let enqueue (p : Packet.t) =
+      let drops = inner.Disc.enqueue p in
+      let accepted =
+        not (List.exists (fun (d : Packet.t) -> d.uid = p.uid) drops)
+      in
+      if accepted then begin
+        incr enq;
+        bytes_in := !bytes_in + p.size
+      end;
+      (match drops with
+      | [] -> ()
+      | _ -> drop := !drop + List.length drops);
+      drops
+    in
+    let dequeue () =
+      match inner.Disc.dequeue () with
+      | None -> None
+      | Some p ->
+          incr deq;
+          Some p
+    in
+    {
+      Disc.name = inner.Disc.name;
+      enqueue;
+      dequeue;
+      length = inner.Disc.length;
+      bytes = inner.Disc.bytes;
+    }
+  end

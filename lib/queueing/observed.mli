@@ -1,0 +1,16 @@
+(** Counter instrumentation for queue disciplines.
+
+    [wrap ~obs disc] returns a discipline behaviourally identical to
+    [disc] that additionally maintains labeled counters on [obs]:
+
+    - [disc.<name>.enqueue] — packets accepted into the queue;
+    - [disc.<name>.bytes_enqueued] — bytes accepted;
+    - [disc.<name>.dequeue] — packets handed to the transmitter;
+    - [disc.<name>.drop] — packets dropped (rejections and push-outs).
+
+    Counter refs are resolved once at wrap time, so the per-operation
+    cost is bare int increments. When [obs] is disabled the inner
+    discipline is returned unchanged — zero overhead, mirroring
+    {!Checked.wrap}. *)
+
+val wrap : obs:Taq_obs.Obs.t -> Taq_net.Disc.t -> Taq_net.Disc.t

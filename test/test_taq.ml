@@ -164,7 +164,7 @@ let tracker_fixture ?(epoch = 0.2) () =
       Taq_config.epoch_source = Taq_config.Oracle epoch;
     }
   in
-  let t = Flow_tracker.create ~config ~now:(fun () -> !clock) in
+  let t = Flow_tracker.create ~config ~now:(fun () -> !clock) () in
   (t, clock)
 
 let test_tracker_classifies_new_vs_retx () =
@@ -279,7 +279,7 @@ let test_tracker_pool_fairness () =
       pool_fairness = true;
     }
   in
-  let t = Flow_tracker.create ~config ~now:(fun () -> !clock) in
+  let t = Flow_tracker.create ~config ~now:(fun () -> !clock) () in
   let seqs = Array.make 4 0 in
   for i = 0 to 49 do
     clock := 0.1 *. float_of_int i;
