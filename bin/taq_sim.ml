@@ -208,6 +208,19 @@ let sim_cmd =
       & info [ "buffer-rtts" ] ~docv:"RTTS" ~doc:"Buffer size in RTTs of delay.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let guard =
+    Arg.(
+      value
+      & opt ~vopt:(Some 256) (some int) None
+      & info [ "guard" ] ~docv:"CAP"
+          ~doc:
+            "Enable the TAQ overload guard with a flow-tracker cap of $(docv) \
+             flows (default 256 when the flag is given bare). Only meaningful \
+             with --queue taq or taq+ac: the tracker evicts idle-first/LRU at \
+             the cap and the guard degrades to droptail under sustained \
+             eviction churn or admission pressure, recovering with \
+             hysteresis.")
+  in
   let pcap =
     Arg.(
       value & opt (some string) None
@@ -216,8 +229,8 @@ let sim_cmd =
             "Record every enqueue/drop/delivery at the bottleneck and write \
              the packet log as CSV to $(docv).")
   in
-  let run queue capacity flows rtt duration buffer_rtts seed pcap check obs
-      faults =
+  let run queue capacity flows rtt duration buffer_rtts seed guard pcap check
+      obs faults =
    match setup_check check with
    | Error msg -> `Error (false, msg)
    | Ok check_enabled ->
@@ -237,11 +250,14 @@ let sim_cmd =
       | `Red -> Common.Red
       | `Sfq -> Common.Sfq
       | `Drr -> Common.Drr
-      | `Taq -> Common.Taq (Common.taq_config ~capacity_bps:capacity ~buffer_pkts ())
+      | `Taq ->
+          Common.Taq
+            (Common.taq_config ?guard_cap:guard ~capacity_bps:capacity
+               ~buffer_pkts ())
       | `Taq_ac ->
           Common.Taq
-            (Common.taq_config ~admission:true ~capacity_bps:capacity
-               ~buffer_pkts ())
+            (Common.taq_config ~admission:true ?guard_cap:guard
+               ~capacity_bps:capacity ~buffer_pkts ())
     in
     let env =
       Common.make_env ~queue:q ~capacity_bps:capacity ~buffer_pkts ~seed ()
@@ -286,7 +302,15 @@ let sim_cmd =
           "  taq: enqueued=%d dropped=%d admission_rejected=%d forced_recovery=%d\n"
           st.Taq_core.Taq_disc.enqueued st.Taq_core.Taq_disc.dropped
           st.Taq_core.Taq_disc.admission_rejected
-          st.Taq_core.Taq_disc.forced_recovery_drops);
+          st.Taq_core.Taq_disc.forced_recovery_drops;
+        match Taq_core.Taq_disc.guard t with
+        | None -> ()
+        | Some g ->
+            let tr = Taq_core.Taq_disc.tracker t in
+            Printf.printf "  %s peak_tracked=%d cap_evictions=%d\n"
+              (Taq_core.Overload.report g)
+              (Taq_core.Flow_tracker.peak_tracked tr)
+              (Taq_core.Flow_tracker.cap_evictions tr));
     (match env.Common.faults with
     | None -> ()
     | Some inj -> Printf.printf "  %s\n" (Taq_fault.Injector.report inj));
@@ -301,7 +325,7 @@ let sim_cmd =
     Term.(
       ret
         (const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts
-       $ seed $ pcap $ check_arg $ obs_arg $ faults_arg))
+       $ seed $ guard $ pcap $ check_arg $ obs_arg $ faults_arg))
 
 (* --- sweep ---------------------------------------------------------------- *)
 
@@ -309,8 +333,8 @@ let sim_cmd =
    from the task key (splitmix over the key), so the result is the same
    whichever worker domain runs it, in whatever order. Output goes
    through the Out sink so the harness captures it per task. *)
-let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~rep
-    ~seed () =
+let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~guard
+    ~rep ~seed () =
   let buffer_pkts =
     Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
   in
@@ -320,11 +344,14 @@ let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~rep
     | `Red -> Common.Red
     | `Sfq -> Common.Sfq
     | `Drr -> Common.Drr
-    | `Taq -> Common.Taq (Common.taq_config ~capacity_bps:capacity ~buffer_pkts ())
+    | `Taq ->
+        Common.Taq
+          (Common.taq_config ?guard_cap:guard ~capacity_bps:capacity
+             ~buffer_pkts ())
     | `Taq_ac ->
         Common.Taq
-          (Common.taq_config ~admission:true ~capacity_bps:capacity
-             ~buffer_pkts ())
+          (Common.taq_config ~admission:true ?guard_cap:guard
+             ~capacity_bps:capacity ~buffer_pkts ())
   in
   let flows =
     Common.flows_for_fair_share ~capacity_bps:capacity ~fair_share_bps:fair_share
@@ -416,6 +443,16 @@ let sweep_cmd =
             "Retry failed or timed-out points up to $(docv) times (with \
              exponential backoff) before quarantining them as failed.")
   in
+  let guard =
+    Arg.(
+      value
+      & opt ~vopt:(Some 256) (some int) None
+      & info [ "guard" ] ~docv:"CAP"
+          ~doc:
+            "Enable the TAQ overload guard (tracker cap $(docv), default 256 \
+             when given bare) on every taq/taq+ac point. Part of the cache \
+             key, so guarded and unguarded sweeps never share entries.")
+  in
   let chaos =
     Arg.(
       value & flag
@@ -426,8 +463,8 @@ let sweep_cmd =
              They are reported but excluded from the exit status. Requires \
              --timeout-s (the hanging task is only bounded by the deadline).")
   in
-  let run queues capacities fair_shares reps rtt duration buffer_rtts jobs
-      results_dir no_cache timeout_s retries chaos check obs faults =
+  let run queues capacities fair_shares reps rtt duration buffer_rtts guard
+      jobs results_dir no_cache timeout_s retries chaos check obs faults =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else if chaos && timeout_s = None then
       `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
@@ -459,6 +496,11 @@ let sweep_cmd =
             Printf.sprintf "/faults=%s" (Fault_plan.to_string plan)
         | Some _ | None -> ""
       in
+      let guard_suffix =
+        match guard with
+        | Some cap -> Printf.sprintf "/guard=%d" cap
+        | None -> ""
+      in
       let points =
         List.concat_map
           (fun queue ->
@@ -469,9 +511,9 @@ let sweep_cmd =
                     List.init reps (fun rep ->
                         let key =
                           Printf.sprintf
-                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s"
+                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s%s"
                             (queue_tag queue) capacity fair_share rtt duration
-                            buffer_rtts rep fault_suffix
+                            buffer_rtts rep fault_suffix guard_suffix
                         in
                         (key, queue, capacity, fair_share, rep)))
                   fair_shares)
@@ -494,7 +536,7 @@ let sweep_cmd =
                   (Harness.Task.make ~key (fun ~seed ->
                        Harness.Capture.text
                          (sweep_point ~queue ~capacity ~fair_share ~rtt
-                            ~duration ~buffer_rtts ~rep ~seed))))
+                            ~duration ~buffer_rtts ~guard ~rep ~seed))))
           points
       in
       (* Deliberately unhealthy tasks: exercise the pool's quarantine
@@ -617,7 +659,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
-       $ buffer_rtts $ jobs $ results_dir $ no_cache $ timeout_s $ retries
+       $ buffer_rtts $ guard $ jobs $ results_dir $ no_cache $ timeout_s $ retries
        $ chaos $ check_arg $ obs_arg $ faults_arg))
 
 (* --- faults --------------------------------------------------------------- *)

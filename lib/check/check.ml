@@ -1,7 +1,7 @@
-type group = Engine | Net | Queueing | Tcp | Core
+type group = Engine | Net | Queueing | Tcp | Core | Guard
 
-let all_groups = [ Engine; Net; Queueing; Tcp; Core ]
-let n_groups = 5
+let all_groups = [ Engine; Net; Queueing; Tcp; Core; Guard ]
+let n_groups = 6
 
 let index = function
   | Engine -> 0
@@ -9,6 +9,7 @@ let index = function
   | Queueing -> 2
   | Tcp -> 3
   | Core -> 4
+  | Guard -> 5
 
 let bit g = 1 lsl index g
 
@@ -18,6 +19,7 @@ let group_name = function
   | Queueing -> "queueing"
   | Tcp -> "tcp"
   | Core -> "core"
+  | Guard -> "guard"
 
 let group_of_string = function
   | "engine" -> Some Engine
@@ -25,6 +27,7 @@ let group_of_string = function
   | "queueing" -> Some Queueing
   | "tcp" -> Some Tcp
   | "core" -> Some Core
+  | "guard" -> Some Guard
   | _ -> None
 
 let groups_of_string s =
@@ -44,7 +47,7 @@ let groups_of_string s =
           Error
             (Printf.sprintf
                "unknown check group %S (expected all, engine, net, queueing, \
-                tcp, core)"
+                tcp, core, guard)"
                p))
     in
     go [] parts

@@ -19,6 +19,8 @@ type group =
   | Queueing   (** qdisc occupancy / byte-count consistency *)
   | Tcp        (** cwnd/ssthresh floors, scoreboard, SACK blocks, RTO bounds *)
   | Core       (** TAQ class accounting, flow tracker vs admission *)
+  | Guard      (** overload guard: tracked-flows cap, hysteresis dwell,
+                   cross-mode packet conservation *)
 
 val all_groups : group list
 val group_name : group -> string

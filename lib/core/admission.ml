@@ -105,11 +105,28 @@ let feedback t ~key =
         Some { position; expected_wait }
   end
 
+let shed_waiting t =
+  Hashtbl.reset t.waiting;
+  t.wait_order <- []
+
 let expire t =
   let now = t.now () in
+  let expiry = t.config.Taq_config.pool_expiry in
   let stale = ref [] in
   Hashtbl.iter
-    (fun key last ->
-      if now -. last > t.config.Taq_config.pool_expiry then stale := key :: !stale)
+    (fun key last -> if now -. last > expiry then stale := key :: !stale)
     t.admitted;
-  List.iter (Hashtbl.remove t.admitted) !stale
+  List.iter (Hashtbl.remove t.admitted) !stale;
+  (* Waiting pools whose client never retries its SYN would otherwise
+     sit in [waiting]/[wait_order] forever — unbounded state, and an
+     eternal head-of-line blocker for the Twait guarantee (which only
+     force-admits the oldest waiter). Prune by first-rejection time. *)
+  let stale_waiting = ref [] in
+  Hashtbl.iter
+    (fun key first ->
+      if now -. first > expiry then stale_waiting := key :: !stale_waiting)
+    t.waiting;
+  if !stale_waiting <> [] then begin
+    List.iter (Hashtbl.remove t.waiting) !stale_waiting;
+    t.wait_order <- List.filter (Hashtbl.mem t.waiting) t.wait_order
+  end

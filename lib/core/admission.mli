@@ -40,6 +40,8 @@ val is_admitted : t -> key:int -> bool
 val admitted_count : t -> int
 
 val waiting_count : t -> int
+(** Pools currently parked in the wait queue — exposed as a pressure
+    signal to the overload guard ({!Overload.sample}). *)
 
 type feedback = {
   position : int;  (** 1-based place in the admission queue *)
@@ -55,5 +57,18 @@ val feedback : t -> key:int -> feedback option
     RuralCafe-style feedback the paper cites). [None] when the pool is
     not waiting (unknown or already admitted). *)
 
+val shed_waiting : t -> unit
+(** Drop every waiting pool and empty the Twait FIFO. Called by the
+    overload guard on entry to Degraded: while admission is bypassed
+    nothing services the wait queue, so its contents are stale soft
+    state — shedding it is part of degrading gracefully, and keeps the
+    guard's [waiting_count] pressure signal meaningful (a frozen
+    pre-flood backlog would otherwise read as perpetual pressure and
+    pin the guard in Degraded). Rejected clients keep retrying their
+    SYNs, so live pools simply re-queue once admission resumes. *)
+
 val expire : t -> unit
-(** Drop admitted pools idle longer than [pool_expiry]. *)
+(** Drop admitted pools idle longer than [pool_expiry], {e and}
+    waiting pools first rejected that long ago (a client that never
+    retries its SYN would otherwise occupy [waiting] and the Twait
+    FIFO forever). Bounds both tables. *)

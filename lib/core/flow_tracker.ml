@@ -26,10 +26,13 @@ type t = {
   config : Taq_config.t;
   now : unit -> float;
   flows : (int, flow) Hashtbl.t;
+  mutable cap_evictions : int;
+  mutable peak_tracked : int;
   (* Pre-resolved observability counters (dummy refs when obs is off,
      so the rare-event hot paths below stay branch-free). *)
   obs_flows_created : int ref;
   obs_evictions : int ref;
+  obs_cap_evictions : int ref;
 }
 
 let create ?obs ~config ~now () =
@@ -40,8 +43,11 @@ let create ?obs ~config ~now () =
     config;
     now;
     flows = Hashtbl.create 256;
+    cap_evictions = 0;
+    peak_tracked = 0;
     obs_flows_created = Taq_obs.Obs.labeled_ref obs "tracker.flows_created";
     obs_evictions = Taq_obs.Obs.labeled_ref obs "tracker.evictions";
+    obs_cap_evictions = Taq_obs.Obs.labeled_ref obs "tracker.cap_evictions";
   }
 
 let new_flow t ~id ~pool =
@@ -65,13 +71,43 @@ let new_flow t ~id ~pool =
     last_seen = t.now ();
   }
 
+(* The hard state bound: inserting into a full table evicts the
+   least-recently-seen entry first (ties broken by lowest id for
+   determinism). Idle flows age to the LRU end within an RTT, so under
+   a one-packet-flow flood this is exactly idle-first eviction; the
+   legitimate flows being actively forwarded keep refreshing
+   [last_seen] and survive. O(n) scan — acceptable because it only
+   runs when the table is already at its configured cap. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun id f ->
+      match !victim with
+      | None -> victim := Some (id, f)
+      | Some (vid, v) ->
+          if
+            f.last_seen < v.last_seen
+            || (f.last_seen = v.last_seen && id < vid)
+          then victim := Some (id, f))
+    t.flows;
+  match !victim with
+  | None -> ()
+  | Some (id, _) ->
+      Hashtbl.remove t.flows id;
+      t.cap_evictions <- t.cap_evictions + 1;
+      incr t.obs_cap_evictions
+
 let lookup t ~flow ~pool =
   match Hashtbl.find_opt t.flows flow with
   | Some f -> f
   | None ->
+      if Hashtbl.length t.flows >= t.config.Taq_config.max_tracked_flows then
+        evict_lru t;
       let f = new_flow t ~id:flow ~pool in
       Hashtbl.replace t.flows flow f;
       incr t.obs_flows_created;
+      let n = Hashtbl.length t.flows in
+      if n > t.peak_tracked then t.peak_tracked <- n;
       f
 
 let roll_one_epoch f ~epoch =
@@ -217,6 +253,8 @@ let active_flow_count t =
   !n
 
 let tracked_flow_count t = Hashtbl.length t.flows
+let cap_evictions t = t.cap_evictions
+let peak_tracked t = t.peak_tracked
 
 let mean_epoch t =
   let acc = ref 0.0 and n = ref 0 in

@@ -17,7 +17,8 @@ type classification = New_data | Retransmission
 val create :
   ?obs:Taq_obs.Obs.t -> config:Taq_config.t -> now:(unit -> float) -> unit -> t
 (** [obs] (default [Taq_obs.Obs.ambient ()]) receives the
-    [tracker.flows_created] and [tracker.evictions] labeled counters. *)
+    [tracker.flows_created], [tracker.evictions] and
+    [tracker.cap_evictions] labeled counters. *)
 
 val observe_syn : t -> flow:int -> pool:int -> unit
 (** A SYN reached the queue (starts epoch estimation for the flow). *)
@@ -68,6 +69,17 @@ val active_flow_count : t -> int
     fair share. *)
 
 val tracked_flow_count : t -> int
+(** Never exceeds [max_tracked_flows]: inserting into a full table
+    evicts the least-recently-seen entry first (idle-first/LRU; ties
+    broken by lowest id for determinism). *)
+
+val cap_evictions : t -> int
+(** Cumulative insert-time evictions forced by the [max_tracked_flows]
+    cap — the overload guard's churn pressure signal. Distinct from
+    idle-timeout expiry in {!tick}. *)
+
+val peak_tracked : t -> int
+(** High-water mark of {!tracked_flow_count} over the tracker's life. *)
 
 val fair_share_bps : ?flow:int -> t -> float
 (** The fair share in bits/second — equal split under fair queuing, or

@@ -31,6 +31,21 @@ type admission = {
   loss_alpha : float;  (** EWMA weight of the per-packet loss signal *)
 }
 
+type guard = {
+  trip_after : float;  (** sustained pressure (cap-eviction churn or
+                           admission backlog) for this long trips
+                           [Normal -> Degraded] *)
+  clear_after : float;  (** this long without pressure starts the exit
+                            from [Degraded] *)
+  min_dwell : float;  (** minimum time in any mode before the next
+                          transition — the anti-flap hysteresis *)
+  recovery_dwell : float;  (** time spent in [Recovering] (classification
+                               back on, trip-sensitive) before declaring
+                               [Normal] *)
+  waiting_high : int;  (** admission waiting-table size treated as
+                           pressure *)
+}
+
 type t = {
   capacity_pkts : int;  (** total buffer across all TAQ queues *)
   fairness_model : Fair_share.model;
@@ -60,13 +75,27 @@ type t = {
   admission : admission option;  (** [None] disables admission control *)
   flow_idle_timeout : float;  (** forget per-flow state after this much
                                   silence *)
+  max_tracked_flows : int;  (** hard cap on [Flow_tracker] entries;
+                                enforced by idle-first/LRU eviction at
+                                insert time *)
+  guard : guard option;  (** [None] disables the overload guard (the
+                             tracker cap still holds) *)
 }
 
 val default_admission : admission
 
+val default_guard : guard
+(** trip_after 0.25 s, clear_after 1 s, min_dwell 1 s,
+    recovery_dwell 1 s, waiting_high 64. *)
+
 val default : capacity_pkts:int -> capacity_bps:float -> t
 (** No admission control; estimated epochs; recovery share 0.25;
-    NewFlow cap = capacity/4. *)
+    NewFlow cap = capacity/4; max_tracked_flows 65536; no guard. *)
 
 val with_admission : capacity_pkts:int -> capacity_bps:float -> t
 (** {!default} plus {!default_admission}. *)
+
+val with_guard : ?guard:guard -> max_tracked_flows:int -> t -> t
+(** Enable the overload guard with a (validated) tracker cap.
+    @raise Invalid_argument on a cap < 1 or nonsensical guard fields
+    (negative dwells, [clear_after <= 0], [waiting_high < 1]). *)

@@ -22,9 +22,13 @@ type t = {
   config : Taq_config.t;
   mutable tracker : Flow_tracker.t;
   mutable admission : Admission.t option;
+  mutable guard : Overload.t option;
   queues : Taq_queues.t;
   mutable last_tick : float;
   mutable n_enqueued : int;
+  mutable n_dequeued : int;
+  mutable n_queue_evicted : int;  (* push-out victims: left the queue
+                                     without being dequeued *)
   mutable n_dropped : int;
   mutable n_admission_rejected : int;
   mutable n_forced_recovery : int;
@@ -63,9 +67,17 @@ let create ?check ?obs ~sim ~config () =
       Option.map
         (fun a -> Admission.create ~config:a ~now)
         config.Taq_config.admission;
+    guard =
+      Option.map
+        (fun g ->
+          Overload.create ~check ~obs ~guard:g
+            ~cap:config.Taq_config.max_tracked_flows ~now ())
+        config.Taq_config.guard;
     queues = Taq_queues.create ~config ~now;
     last_tick = now ();
     n_enqueued = 0;
+    n_dequeued = 0;
+    n_queue_evicted = 0;
     n_dropped = 0;
     n_admission_rejected = 0;
     n_forced_recovery = 0;
@@ -88,6 +100,15 @@ let restart t =
     Option.map
       (fun a -> Admission.create ~config:a ~now)
       t.config.Taq_config.admission;
+  (* The guard is control-plane state too: a rebooted box starts in
+     Normal mode, and its cap-eviction baseline restarts with the
+     fresh tracker. *)
+  t.guard <-
+    Option.map
+      (fun g ->
+        Overload.create ~check:t.check ~obs:t.obs ~guard:g
+          ~cap:t.config.Taq_config.max_tracked_flows ~now ())
+      t.config.Taq_config.guard;
   Hashtbl.reset t.chk_pools;
   (* The box forgot every flow: class transitions restart from scratch
      too, mirroring the control-plane state loss. *)
@@ -153,12 +174,56 @@ let verify t ~where =
             known seen))
     t.admission
 
+(* Feed the overload guard one observation and verify the guard-group
+   invariants that must hold in and across mode switches. *)
+let guard_sample t =
+  match t.guard with
+  | None -> ()
+  | Some g ->
+      let was = Overload.mode g in
+      Overload.sample g
+        ~tracked:(Flow_tracker.tracked_flow_count t.tracker)
+        ~cap_evictions:(Flow_tracker.cap_evictions t.tracker)
+        ~waiting:
+          (match t.admission with
+          | None -> 0
+          | Some a -> Admission.waiting_count a);
+      (* Packet conservation across mode switches: everything that
+         entered the queues either left through dequeue, was pushed
+         out, or is still queued — regardless of which mode admitted
+         it. *)
+      if Check.on t.check Check.Guard then begin
+        let total = Taq_queues.total_packets t.queues in
+        Check.require t.check Check.Guard
+          (t.n_enqueued - t.n_dequeued - t.n_queue_evicted = total)
+          (fun () ->
+            Printf.sprintf
+              "conservation: enqueued %d - dequeued %d - evicted %d <> queued \
+               %d (mode %s)"
+              t.n_enqueued t.n_dequeued t.n_queue_evicted total
+              (Overload.mode_name (Overload.mode g)))
+      end;
+      let now_mode = Overload.mode g in
+      if was <> now_mode then begin
+        (* Entering Degraded sheds the admission wait queue: admission
+           is bypassed from here on, so nothing would ever service it,
+           and a frozen backlog would read as perpetual waiting-count
+           pressure and pin the guard in Degraded. Clients retry their
+           SYNs, so live pools re-queue once admission resumes. *)
+        if now_mode = Overload.Degraded then
+          Option.iter Admission.shed_waiting t.admission;
+        Log.debug (fun m ->
+            m "t=%.3f guard %s -> %s" (Sim.now t.sim) (Overload.mode_name was)
+              (Overload.mode_name now_mode))
+      end
+
 let lazy_tick t =
   let now = Sim.now t.sim in
   if now -. t.last_tick >= t.config.Taq_config.tick_interval then begin
     t.last_tick <- now;
     Flow_tracker.tick t.tracker;
-    Option.iter Admission.expire t.admission
+    Option.iter Admission.expire t.admission;
+    guard_sample t
   end
 
 let count_drop t cls =
@@ -206,6 +271,7 @@ let enqueue_with_pushout t (p : Packet.t) cls ~priority =
     | Some victim_cls when rank victim_cls > rank cls -> (
         match Taq_queues.drop_from t.queues victim_cls with
         | Some victim ->
+            t.n_queue_evicted <- t.n_queue_evicted + 1;
             Flow_tracker.observe_drop t.tracker victim;
             Option.iter Admission.note_drop t.admission;
             count_drop t victim_cls;
@@ -308,20 +374,52 @@ let enqueue_data t (p : Packet.t) =
   in
   enqueue_with_pushout t p cls ~priority
 
+(* Degraded mode (overload guard tripped): behave as a plain droptail
+   FIFO. Per-flow *observation* continues — the tracker is hard-bounded
+   by [max_tracked_flows] now, and keeping it warm is both what feeds
+   the guard's churn signal and what lets classification resume
+   seamlessly once pressure subsides — but classification, admission
+   control, the NewFlow cap and push-out are all bypassed: every
+   packet goes FIFO into BelowFairShare, arrivals beyond the buffer
+   are tail-dropped. Admission's loss EWMA is deliberately not fed:
+   flood-induced tail drops would otherwise poison the controller and
+   keep rejecting pools long after recovery. *)
+let enqueue_degraded t (p : Packet.t) =
+  (match p.kind with
+  | Packet.Syn -> Flow_tracker.observe_syn t.tracker ~flow:p.flow ~pool:p.pool
+  | Packet.Data -> ignore (Flow_tracker.observe_data t.tracker p)
+  | Packet.Ack | Packet.Syn_ack | Packet.Fin -> ());
+  if Taq_queues.total_packets t.queues < t.config.Taq_config.capacity_pkts
+  then begin
+    Taq_queues.enqueue t.queues Taq_queues.Below_fair_share ~priority:0.0 p;
+    t.n_enqueued <- t.n_enqueued + 1;
+    []
+  end
+  else begin
+    Flow_tracker.observe_drop t.tracker p;
+    count_drop t Taq_queues.Below_fair_share;
+    [ p ]
+  end
+
 let enqueue t (p : Packet.t) =
   lazy_tick t;
+  let degraded =
+    match t.guard with Some g -> Overload.degraded g | None -> false
+  in
   let drops =
-    match p.kind with
-    | Packet.Syn ->
-        if Check.on t.check Check.Core then
-          Hashtbl.replace t.chk_pools (pool_key p) ();
-        enqueue_syn t p
-    | Packet.Data -> enqueue_data t p
-    | Packet.Ack | Packet.Syn_ack | Packet.Fin ->
-        (* Control traffic on the forward path is rare in the evaluated
-           topologies; queue it with normal priority, exempt from flow
-           tracking. *)
-        enqueue_with_pushout t p Taq_queues.Below_fair_share ~priority:0.0
+    if degraded then enqueue_degraded t p
+    else
+      match p.kind with
+      | Packet.Syn ->
+          if Check.on t.check Check.Core then
+            Hashtbl.replace t.chk_pools (pool_key p) ();
+          enqueue_syn t p
+      | Packet.Data -> enqueue_data t p
+      | Packet.Ack | Packet.Syn_ack | Packet.Fin ->
+          (* Control traffic on the forward path is rare in the evaluated
+             topologies; queue it with normal priority, exempt from flow
+             tracking. *)
+          enqueue_with_pushout t p Taq_queues.Below_fair_share ~priority:0.0
   in
   if Check.on t.check Check.Core then verify t ~where:"enqueue";
   drops
@@ -329,6 +427,7 @@ let enqueue t (p : Packet.t) =
 let dequeue t =
   lazy_tick t;
   let r = Taq_queues.dequeue t.queues in
+  (match r with Some _ -> t.n_dequeued <- t.n_dequeued + 1 | None -> ());
   if Check.on t.check Check.Core then verify t ~where:"dequeue";
   r
 
@@ -344,6 +443,8 @@ let disc t =
 let tracker t = t.tracker
 
 let admission t = t.admission
+
+let guard t = t.guard
 
 let queues t = t.queues
 

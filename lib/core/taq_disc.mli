@@ -52,6 +52,17 @@ val tracker : t -> Flow_tracker.t
 
 val admission : t -> Admission.t option
 
+val guard : t -> Overload.t option
+(** The overload guard, when [config.guard] is set. Sampled at every
+    housekeeping tick; while it reports [Degraded] the discipline
+    bypasses classification, admission, the NewFlow cap and push-out,
+    queueing every packet FIFO into BelowFairShare with plain
+    tail-drop (per-flow {e observation} continues, bounded by
+    [max_tracked_flows], so classification resumes seamlessly on
+    recovery). The [Guard] check group asserts the tracked-flows cap,
+    dwell-respecting transitions, and packet conservation across mode
+    switches. *)
+
 val queues : t -> Taq_queues.t
 
 val stats : t -> stats

@@ -35,10 +35,15 @@ let pkt_bytes = 500
 
 let default_tcp = Tcp_config.make ~use_syn:false ()
 
-let taq_config ?(admission = false) ~capacity_bps ~buffer_pkts () =
-  if admission then
-    Taq_config.with_admission ~capacity_pkts:buffer_pkts ~capacity_bps
-  else Taq_config.default ~capacity_pkts:buffer_pkts ~capacity_bps
+let taq_config ?(admission = false) ?guard_cap ~capacity_bps ~buffer_pkts () =
+  let config =
+    if admission then
+      Taq_config.with_admission ~capacity_pkts:buffer_pkts ~capacity_bps
+    else Taq_config.default ~capacity_pkts:buffer_pkts ~capacity_bps
+  in
+  match guard_cap with
+  | None -> config
+  | Some cap -> Taq_config.with_guard ~max_tracked_flows:cap config
 
 let make_env ?check ?obs ?faults ~queue ~capacity_bps ~buffer_pkts
     ?(slice = 20.0) ?(evolution_window = 5.0) ?(seed = 1) () =

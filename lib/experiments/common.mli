@@ -60,10 +60,11 @@ val make_env :
     envs draw exactly the random streams they always did. *)
 
 val taq_config :
-  ?admission:bool -> capacity_bps:float -> buffer_pkts:int -> unit ->
-  Taq_core.Taq_config.t
+  ?admission:bool -> ?guard_cap:int -> capacity_bps:float ->
+  buffer_pkts:int -> unit -> Taq_core.Taq_config.t
 (** The TAQ configuration used throughout the evaluation (estimated
-    epochs, paper defaults). *)
+    epochs, paper defaults). [guard_cap] enables the overload guard
+    with that [max_tracked_flows] cap (flood drills / [--guard]). *)
 
 val default_tcp : Taq_tcp.Tcp_config.t
 (** The evaluation's TCP: 500 B on-the-wire packets, NewReno, no

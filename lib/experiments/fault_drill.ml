@@ -10,17 +10,34 @@ type outcome = {
   restarts : int;
   tracked_before_restart : int;
   tracked_at_end : int;
+  degraded_entered : int;
+  degraded_exited : int;
+  peak_tracked : int;
+  tracker_cap : int;
+  guard_mode : string;
   ok : bool;
   problems : string list;
 }
 
+(* The cap used for flood drills: small enough that the registry's
+   flood rates overflow it within a second, large enough that the
+   legitimate drill flows never come near it on their own. *)
+let flood_guard_cap = 256
+
 let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
     ?(capacity_bps = 400e3) ?(duration = 90.0) ?(seed = 1) () =
   let buffer_pkts = Common.buffer_for_rtts ~capacity_bps ~rtt ~rtts:1.0 in
+  let flood = Plan.has_flood plan in
   let queue =
     (* Rebuild the TAQ marker with a capacity-aware config, mirroring
-       the experiment drivers. *)
+       the experiment drivers. Flood plans get the overload guard (the
+       machinery under drill) plus admission control, whose waiting
+       table is one of the guard's pressure signals. *)
     match queue with
+    | Common.Taq _ when flood ->
+        Common.Taq
+          (Common.taq_config ~admission:true ~guard_cap:flood_guard_cap
+             ~capacity_bps ~buffer_pkts ())
     | Common.Taq _ ->
         Common.Taq (Common.taq_config ~capacity_bps ~buffer_pkts ())
     | q -> q
@@ -49,6 +66,21 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
     | Some t ->
         Taq_core.Flow_tracker.tracked_flow_count (Taq_core.Taq_disc.tracker t)
   in
+  let degraded_entered, degraded_exited, peak_tracked, tracker_cap, guard_mode
+      =
+    match env.Common.taq with
+    | None -> (0, 0, 0, 0, "-")
+    | Some t -> (
+        let tr = Taq_core.Taq_disc.tracker t in
+        match Taq_core.Taq_disc.guard t with
+        | None -> (0, 0, Taq_core.Flow_tracker.peak_tracked tr, 0, "-")
+        | Some g ->
+            ( Taq_core.Overload.degraded_entered g,
+              Taq_core.Overload.degraded_exited g,
+              Taq_core.Flow_tracker.peak_tracked tr,
+              flood_guard_cap,
+              Taq_core.Overload.mode_name (Taq_core.Overload.mode g) ))
+  in
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   if !completed < flows then
@@ -65,6 +97,25 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
       if tracked_at_end = 0 then
         problem "TAQ did not re-learn any flows after the restart"
   | Some _ | None -> ());
+  (* Flood drills assert the full degradation arc: the guard tripped,
+     the tracker never outgrew its cap, the mode machine came all the
+     way back to Normal after the flood, and TAQ still holds per-flow
+     state — i.e. class scheduling is observably restored. *)
+  (match env.Common.taq with
+  | Some _ when flood ->
+      if degraded_entered = 0 then
+        problem "flood never tripped the overload guard";
+      if degraded_exited < degraded_entered then
+        problem "guard still degraded at end of run (entered %d, exited %d)"
+          degraded_entered degraded_exited;
+      if peak_tracked > tracker_cap then
+        problem "tracker peaked at %d flows, above cap %d" peak_tracked
+          tracker_cap;
+      if guard_mode <> "normal" then
+        problem "guard finished in mode %s, not normal" guard_mode;
+      if tracked_at_end = 0 then
+        problem "TAQ tracks no flows after the flood (nothing re-learned)"
+  | Some _ | None -> ());
   let problems = List.rev !problems in
   {
     scenario;
@@ -75,6 +126,11 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
     restarts;
     tracked_before_restart;
     tracked_at_end;
+    degraded_entered;
+    degraded_exited;
+    peak_tracked;
+    tracker_cap;
+    guard_mode;
     ok = problems = [];
     problems;
   }
@@ -82,7 +138,7 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
 let print outcomes =
   let columns =
     [ "scenario"; "queue"; "flows"; "done"; "injected"; "restarts";
-      "tracked"; "status" ]
+      "tracked"; "guard"; "status" ]
   in
   let table = Taq_util.Table.create ~columns in
   List.iter
@@ -98,6 +154,11 @@ let print outcomes =
           (if o.restarts > 0 then
              Printf.sprintf "%d->%d" o.tracked_before_restart o.tracked_at_end
            else string_of_int o.tracked_at_end);
+          (if o.tracker_cap > 0 then
+             Printf.sprintf "%s %din/%dout peak=%d/%d" o.guard_mode
+               o.degraded_entered o.degraded_exited o.peak_tracked
+               o.tracker_cap
+           else "-");
           (if o.ok then "ok" else String.concat "; " o.problems);
         ])
     outcomes;

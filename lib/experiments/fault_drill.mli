@@ -7,7 +7,12 @@
     - the plan injected a non-zero number of faults (counters prove
       injection happened — a scenario that silently no-ops is a bug);
     - after a middlebox restart, TAQ re-learns and re-classifies the
-      surviving flows (state was demonstrably lost, then rebuilt).
+      surviving flows (state was demonstrably lost, then rebuilt);
+    - for flood plans ([Plan.has_flood]): the overload guard trips
+      into Degraded, the flow tracker never exceeds its cap, and the
+      guard returns to Normal with per-flow state intact after the
+      flood — the full graceful-degradation arc. Flood drills enable
+      the guard (cap 256) and admission control on the TAQ config.
 
     Deterministic: the whole drill derives from [seed]; equal seeds
     give byte-identical outcomes under any jobs count, so drills can
@@ -27,6 +32,13 @@ type outcome = {
   tracked_at_end : int;
       (** TAQ flows tracked when the run ended — must be re-learned
           state if a restart happened *)
+  degraded_entered : int;  (** guard Normal/Recovering -> Degraded edges *)
+  degraded_exited : int;  (** guard Degraded -> Recovering edges *)
+  peak_tracked : int;
+      (** tracker high-water mark — must stay ≤ [tracker_cap] under
+          flood plans *)
+  tracker_cap : int;  (** 0 when the run had no guard *)
+  guard_mode : string;  (** final mode name, ["-"] without a guard *)
   ok : bool;
   problems : string list;  (** empty iff [ok] *)
 }

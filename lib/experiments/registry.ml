@@ -114,6 +114,34 @@ let cubic ~full =
   in
   Fig_fairness.print (Fig_fairness.run p)
 
+(* The overload-guard drill as a benchmarkable target: the adversarial
+   flood scenarios from the fault registry against a guarded TAQ
+   (admission on, tracker capped), asserting the full degradation arc —
+   trip, bounded state, recovery, re-learning. Deterministic under the
+   drill's fixed seed, so its counters gate exactly in BENCH.json. *)
+let flood ~full =
+  let scenarios =
+    if full then [ "syn-flood-churn"; "one-packet-stampede"; "pool-churn-storm" ]
+    else [ "syn-flood-churn"; "one-packet-stampede" ]
+  in
+  let outcomes =
+    List.map
+      (fun name ->
+        match Taq_fault.Scenarios.find name with
+        | None -> invalid_arg ("registry: unknown flood scenario " ^ name)
+        | Some sc ->
+            Fault_drill.run ~scenario:sc.Taq_fault.Scenarios.name
+              ~plan:sc.Taq_fault.Scenarios.plan ~queue:Common.taq_marker ())
+      scenarios
+  in
+  Fault_drill.print outcomes;
+  let bad = List.filter (fun o -> not o.Fault_drill.ok) outcomes in
+  if bad <> [] then
+    failwith
+      (Printf.sprintf "flood drill failed: %s"
+         (String.concat "; "
+            (List.concat_map (fun o -> o.Fault_drill.problems) bad)))
+
 let ablate ~full =
   let p = if full then Ablations.default else Ablations.quick in
   Ablations.print (Ablations.run_queue_ablations p);
@@ -187,6 +215,13 @@ let targets =
       name = "aqm";
       description = "sec 2.4: RED, SFQ and DRR vs droptail in small packet regimes";
       run = aqm;
+    };
+    {
+      name = "flood";
+      description =
+        "overload guard under adversarial floods: degrade to droptail, \
+         bound tracker state, recover and re-learn";
+      run = flood;
     };
     {
       name = "ablate";

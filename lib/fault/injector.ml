@@ -12,6 +12,7 @@ type stats = {
   acks_delayed : int;
   restarts : int;
   tracked_before_restart : int;
+  flooded : int;
 }
 
 type t = {
@@ -26,6 +27,7 @@ type t = {
   mutable acks_delayed : int;
   mutable restarts : int;
   mutable tracked_before_restart : int;
+  mutable flooded : int;
 }
 
 let in_window (w : Plan.window) ~now = w.Plan.from_ <= now && now < w.Plan.until
@@ -98,7 +100,7 @@ let rev_tap t pkt forward =
 
 let wants_fwd_tap = function
   | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Loss _ -> true
-  | Plan.Flap _ | Plan.Ack_delay _ | Plan.Restart _ -> false
+  | Plan.Flap _ | Plan.Ack_delay _ | Plan.Restart _ | Plan.Flood _ -> false
 
 let wants_rev_tap = function Plan.Ack_delay _ -> true | _ -> false
 
@@ -118,8 +120,13 @@ let install ?taq ~net ~prng plan =
       acks_delayed = 0;
       restarts = 0;
       tracked_before_restart = 0;
+      flooded = 0;
     }
   in
+  (* Each flood clause gets its own flow-id space and its own split
+     PRNG stream, so several floods coexist deterministically and the
+     taps' Bernoulli draws above are not perturbed. *)
+  let next_flood_base = ref 1_000_000 in
   if List.exists wants_fwd_tap plan then
     Dumbbell.set_fwd_interceptor net (Some (fwd_tap t));
   if List.exists wants_rev_tap plan then
@@ -147,6 +154,23 @@ let install ?taq ~net ~prng plan =
                      Taq_core.Taq_disc.restart disc;
                      t.restarts <- t.restarts + 1;
                      fired t "restart")))
+      | Plan.Flood { at; dur; rate; kind } ->
+          let kind =
+            match Taq_workload.Flood.kind_of_string kind with
+            | Some k -> k
+            | None ->
+                (* unreachable for parsed plans; fail loudly for
+                   hand-built ones *)
+                invalid_arg ("Injector.install: flood kind " ^ kind)
+          in
+          let flow_base = !next_flood_base in
+          next_flood_base := flow_base + 1_000_000;
+          ignore
+            (Taq_workload.Flood.install ~flow_base
+               ~on_send:(fun () ->
+                 t.flooded <- t.flooded + 1;
+                 fired t "flood")
+               ~net ~prng:(Prng.split prng) ~kind ~rate ~at ~duration:dur ())
       | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Ack_delay _
       | Plan.Loss _ ->
           ())
@@ -162,14 +186,16 @@ let stats t =
     acks_delayed = t.acks_delayed;
     restarts = t.restarts;
     tracked_before_restart = t.tracked_before_restart;
+    flooded = t.flooded;
   }
 
 let injected_total t =
   t.flaps + t.corrupted + t.duplicated + t.reordered + t.acks_delayed
-  + t.restarts
+  + t.restarts + t.flooded
 
 let report t =
   Printf.sprintf
     "faults: flaps=%d corrupted=%d duplicated=%d reordered=%d acks_delayed=%d \
-     restarts=%d"
+     restarts=%d flooded=%d"
     t.flaps t.corrupted t.duplicated t.reordered t.acks_delayed t.restarts
+    t.flooded

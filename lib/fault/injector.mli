@@ -28,6 +28,9 @@ type stats = {
   tracked_before_restart : int;
       (** flows the TAQ tracker held immediately before the most
           recent restart — proof the restart destroyed live state *)
+  flooded : int;
+      (** adversarial flood packets injected ([flood@T+D:rate=R]
+          clauses, via {!Taq_workload.Flood}) *)
 }
 
 val install :

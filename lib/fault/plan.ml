@@ -8,8 +8,11 @@ type fault =
   | Ack_delay of { w : window; delay : float }
   | Restart of { at : float }
   | Loss of { p : float }
+  | Flood of { at : float; dur : float; rate : float; kind : string }
 
 type t = fault list
+
+let flood_kinds = [ "syn"; "data"; "pool" ]
 
 (* --- rendering ---------------------------------------------------------- *)
 
@@ -25,6 +28,10 @@ let fault_to_string = function
       Printf.sprintf "ackdelay@%s:delay=%g" (window_to_string w) delay
   | Restart { at } -> Printf.sprintf "restart@%g" at
   | Loss { p } -> Printf.sprintf "loss:p=%g" p
+  | Flood { at; dur; rate; kind } ->
+      (* [kind] is always printed, so the canonical form round-trips
+         and equal plans render equally for sweep task keys. *)
+      Printf.sprintf "flood@%g+%g:rate=%g,kind=%s" at dur rate kind
 
 let to_string t = String.concat ";" (List.map fault_to_string t)
 
@@ -169,6 +176,38 @@ let parse_clause clause =
   | "restart", `At spec ->
       let* at = parse_time ~what:"restart time" spec in
       Ok (Restart { at })
+  | "flood", `At spec -> (
+      let tspec, kspec = split_at_kvs spec in
+      match String.index_opt tspec '+' with
+      | None -> err "fault plan: flood@T+D:rate=R expected, got %S" clause
+      | Some i ->
+          let* at = parse_time ~what:"flood time" (String.sub tspec 0 i) in
+          let* dur =
+            parse_float ~what:"flood duration"
+              (String.sub tspec (i + 1) (String.length tspec - i - 1))
+          in
+          if dur <= 0.0 then
+            err "fault plan: flood duration must be > 0 (got %g)" dur
+          else
+            let* kvs = parse_kvs kspec in
+            let* () =
+              kv_reject_unknown kvs ~clause:"flood" ~known:[ "rate"; "kind" ]
+            in
+            let* rv = kv_get kvs ~clause:"flood" "rate" in
+            let* rate = parse_float ~what:"flood rate" rv in
+            if rate <= 0.0 then
+              err "fault plan: flood rate must be > 0 (got %g)" rate
+            else
+              let kind =
+                match List.assoc_opt "kind" kvs with
+                | None -> "syn"
+                | Some k -> String.trim k
+              in
+              if not (List.mem kind flood_kinds) then
+                err "fault plan: flood kind must be one of %s (got %S)"
+                  (String.concat ", " flood_kinds)
+                  kind
+              else Ok (Flood { at; dur; rate; kind }))
   | "loss", `Kvs kspec ->
       let* kvs = parse_kvs kspec in
       let* () = kv_reject_unknown kvs ~clause:"loss" ~known:[ "p" ] in
@@ -179,7 +218,7 @@ let parse_clause clause =
       err
         "fault plan: unknown clause %S (known: flap@T+D, corrupt@A-B:p=P, \
          dup@A-B:p=P, reorder@A-B:p=P,delay=D, ackdelay@A-B:delay=D, \
-         restart@T, loss:p=P)"
+         restart@T, loss:p=P, flood@T+D:rate=R[,kind=syn|data|pool])"
         clause
 
 let of_string s =
@@ -206,6 +245,7 @@ let fault_end = function
   | Reorder { w; delay; _ } -> w.until +. delay
   | Restart { at } -> at
   | Loss _ -> infinity
+  | Flood { at; dur; _ } -> at +. dur
 
 let horizon t = List.fold_left (fun acc f -> Float.max acc (fault_end f)) 0.0 t
 
@@ -213,6 +253,8 @@ let is_empty t = t = []
 
 let middlebox_only t =
   t <> [] && List.for_all (function Restart _ -> true | _ -> false) t
+
+let has_flood t = List.exists (function Flood _ -> true | _ -> false) t
 
 (* --- ambient plan ------------------------------------------------------- *)
 

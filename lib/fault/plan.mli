@@ -22,6 +22,11 @@
     restart@T             middlebox (TAQ) control-state loss at T
     loss:p=P              stationary Bernoulli loss, whole run — the
                           degenerate plan subsuming External_loss
+    flood@T+D:rate=R[,kind=syn|data|pool]
+                          adversarial small-packet flood at T for D
+                          seconds, mean R brand-new flows/second
+                          (kind defaults to syn; see
+                          [Taq_workload.Flood])
     v}
     e.g. ["flap@1+2;corrupt@5-20:p=0.05;restart@10"]. *)
 
@@ -35,8 +40,13 @@ type fault =
   | Ack_delay of { w : window; delay : float }
   | Restart of { at : float }
   | Loss of { p : float }
+  | Flood of { at : float; dur : float; rate : float; kind : string }
+      (** [kind] is one of {!flood_kinds}; the parser guarantees it *)
 
 type t = fault list
+
+val flood_kinds : string list
+(** [["syn"; "data"; "pool"]]. *)
 
 val of_string : string -> (t, string) result
 (** Parse the grammar above. The empty string is the empty (no-op)
@@ -58,6 +68,10 @@ val middlebox_only : t -> bool
 (** [true] iff the plan is non-empty and every clause is a
     [Restart] — such a plan injects nothing on a path without a TAQ
     middlebox, so drill grids skip it for the baseline disciplines. *)
+
+val has_flood : t -> bool
+(** The plan contains a [Flood] clause — drills use this to enable the
+    overload guard on the TAQ config under test. *)
 
 (** {1 Ambient plan}
 

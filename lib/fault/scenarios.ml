@@ -44,6 +44,23 @@ let all =
       "a quarter of forward packets duplicated for 7 s; receivers see \
        spurious duplicates, senders see extra (dup)acks"
       "dup@5-12:p=0.25";
+    mk "syn-flood-churn"
+      "400 brand-new half-open connections per second for 10 s: \
+       flow-table churn trips the overload guard into droptail \
+       degradation; legitimate flows must still complete and TAQ must \
+       re-learn them once the flood ends"
+      "flood@5+10:rate=400,kind=syn";
+    mk "one-packet-stampede"
+      "a stampede of one-data-packet flows (40 B each) at 400/s — the \
+       degenerate small-transfer regime where per-flow state is pure \
+       overhead; the guard must bound the tracker and degrade \
+       gracefully"
+      "flood@5+10:rate=400,kind=data";
+    mk "pool-churn-storm"
+      "200 fresh flow pools per second for 8 s, each SYN claiming a \
+       new pool id: stresses the admission waiting/Twait tables the \
+       expiry path must bound, alongside tracker churn"
+      "flood@5+8:rate=200,kind=pool";
   ]
 
 let names = List.map (fun s -> s.name) all

@@ -64,6 +64,7 @@ type t = {
   counters : int array;
   gauges : int array;
   labeled : (string, int ref) Hashtbl.t;
+  labeled_gauges : (string, int ref) Hashtbl.t;
   trace : Trace.t option;
 }
 
@@ -73,6 +74,7 @@ let make_instance ~enabled ~trace =
     counters = Array.make n_counters 0;
     gauges = Array.make n_gauges 0;
     labeled = Hashtbl.create 16;
+    labeled_gauges = Hashtbl.create 4;
     trace;
   }
 
@@ -122,6 +124,12 @@ let labeled t name n =
     let r = labeled_ref t name in
     r := !r + n
   end
+
+let labeled_gauge_max t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.labeled_gauges name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.replace t.labeled_gauges name (ref v)
 
 let span t ~name ~cat ?(flow = -1) ~ts_s ~dur_s () =
   match t.trace with
@@ -187,16 +195,21 @@ let snapshot (t : t) =
       (fun name r acc -> if !r = 0 then acc else (name, !r) :: acc)
       t.labeled []
   in
-  let gauges =
+  let fixed_gauges =
     List.filter_map
       (fun g ->
         let v = t.gauges.(gauge_index g) in
         if v = 0 then None else Some (gauge_name g, v))
       all_gauges
   in
+  let lab_gauges =
+    Hashtbl.fold
+      (fun name r acc -> if !r = 0 then acc else (name, !r) :: acc)
+      t.labeled_gauges []
+  in
   {
     counters = List.sort by_name (fixed @ lab);
-    gauges = List.sort by_name gauges;
+    gauges = List.sort by_name (fixed_gauges @ lab_gauges);
     gc_minor_words = 0.0;
     gc_major_words = 0.0;
     events = (match t.trace with None -> [] | Some tr -> Trace.events tr);

@@ -67,6 +67,12 @@ val labeled : t -> string -> int -> unit
 (** [labeled t name n] adds [n] to the dynamically named counter
     [name] (e.g. ["disc.taq.drop"]). No-op when disabled. *)
 
+val labeled_gauge_max : t -> string -> int -> unit
+(** [labeled_gauge_max t name v] raises the dynamically named gauge
+    [name] to at least [v] (e.g. ["guard.degraded_dwell_ms"]). Labeled
+    gauges travel in the snapshot [gauges] list and merge with [max],
+    like fixed gauges. No-op when disabled. *)
+
 val labeled_ref : t -> string -> int ref
 (** Pre-resolve a labeled counter to its cell, hoisting the hash
     lookup out of a hot loop (used by [Taq_queueing.Observed]). On a

@@ -48,7 +48,11 @@ let test_plan_roundtrip () =
       "ackdelay@5-8:delay=0.15";
       "restart@8";
       "loss:p=0.02";
+      "flood@5+10:rate=400,kind=syn";
+      "flood@5+8:rate=200,kind=pool";
+      "flood@2+3:rate=150";
       "flap@1+2;corrupt@5-20:p=0.05;restart@10";
+      "flap@1+2;flood@5+10:rate=400,kind=data";
       " flap@1+2 ; restart@3 ";
     ]
 
@@ -71,6 +75,12 @@ let test_plan_rejects () =
       "reorder@5-15:p=0.3,delay=0" (* non-positive delay *);
       "wobble@3" (* unknown clause *);
       "loss:p=nope" (* unparsable number *);
+      "flood@5+10" (* rate is mandatory *);
+      "flood@5+10:rate=0" (* non-positive rate *);
+      "flood@5+10:rate=-4" (* negative rate *);
+      "flood@5+0:rate=100" (* non-positive duration *);
+      "flood@5+10:rate=100,kind=weird" (* unknown flood kind *);
+      "flood@5+10:rate=100,burst=3" (* unknown key *);
     ];
   (* Empty clauses (stray/trailing semicolons) are tolerated, not
      errors: convenient for shell-assembled plan strings. *)
@@ -85,6 +95,7 @@ let test_plan_horizon () =
   close "reorder horizon includes holdback" 15.05
     (Plan.horizon (ok_plan "reorder@5-15:p=0.3,delay=0.05"));
   close "restart horizon" 8.0 (Plan.horizon (ok_plan "restart@8"));
+  close "flood horizon" 15.0 (Plan.horizon (ok_plan "flood@5+10:rate=100"));
   close "empty plan horizon" 0.0 (Plan.horizon (ok_plan ""));
   Alcotest.(check bool)
     "stationary loss never ends" true
@@ -98,6 +109,15 @@ let test_plan_middlebox_only () =
     "mixed plan" false
     (Plan.middlebox_only (ok_plan "flap@1+2;restart@8"));
   Alcotest.(check bool) "empty plan" false (Plan.middlebox_only (ok_plan ""))
+
+let test_plan_has_flood () =
+  Alcotest.(check bool) "flood plan" true
+    (Plan.has_flood (ok_plan "flood@5+10:rate=100"));
+  Alcotest.(check bool) "mixed plan" true
+    (Plan.has_flood (ok_plan "flap@1+2;flood@5+10:rate=100"));
+  Alcotest.(check bool) "flood-free plan" false
+    (Plan.has_flood (ok_plan "flap@1+2;restart@8"));
+  Alcotest.(check bool) "empty plan" false (Plan.has_flood (ok_plan ""))
 
 (* --- Scenarios -------------------------------------------------------------- *)
 
@@ -276,6 +296,30 @@ let test_drill_restart_proves_relearning () =
     "flows re-classified after the restart" true
     (o.Fault_drill.tracked_at_end > 0)
 
+let test_drill_flood_arc () =
+  (* The headline robustness drill: the SYN-churn flood must drive the
+     guard through the whole graceful-degradation arc with bounded
+     tracker state, and TAQ must still hold per-flow state at the end
+     (class scheduling observably restored). *)
+  let s = Option.get (Scenarios.find "syn-flood-churn") in
+  let o =
+    Fault_drill.run ~scenario:s.Scenarios.name ~plan:s.Scenarios.plan
+      ~queue:Common.taq_marker ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "drill ok (%s)" (String.concat "; " o.Fault_drill.problems))
+    true o.Fault_drill.ok;
+  Alcotest.(check bool) "guard tripped" true (o.Fault_drill.degraded_entered > 0);
+  Alcotest.(check bool) "guard released" true
+    (o.Fault_drill.degraded_exited >= o.Fault_drill.degraded_entered);
+  Alcotest.(check bool) "tracker bounded by cap" true
+    (o.Fault_drill.peak_tracked <= o.Fault_drill.tracker_cap);
+  Alcotest.(check string) "back to normal" "normal" o.Fault_drill.guard_mode;
+  Alcotest.(check bool) "per-flow state re-learned" true
+    (o.Fault_drill.tracked_at_end > 0);
+  Alcotest.(check int) "all flows completed through the flood"
+    o.Fault_drill.flows o.Fault_drill.completed
+
 let test_drill_jobs_invariant () =
   (* The drill fans out over Pool; equal seeds must give identical
      outcomes at jobs=1 and jobs=4. *)
@@ -366,6 +410,36 @@ let prop_finite_plan_recovers =
       Common.run env ~until:120.0;
       !completed = flows && Check.total_violations check = 0)
 
+(* --- property: any finite flood => bounded state + bounded degradation ------- *)
+
+let prop_flood_guard_arc =
+  (* Rates and durations are constrained so the flood always overflows
+     the drill's 256-entry cap (rate * dur >> cap): the guard must then
+     trip, keep the tracker bounded, and be back to Normal by the end
+     of the run — for every flood kind. The drill's Guard-group
+     invariants (cap bound, dwell floors, conservation across mode
+     switches) run in whatever ambient check mode is installed. *)
+  QCheck.Test.make ~name:"flood: cap bounded + guard back to normal" ~count:6
+    (QCheck.make
+       ~print:(fun (rate, dur, kind) ->
+         Printf.sprintf "flood@5+%g:rate=%g,kind=%s" dur rate kind)
+       QCheck.Gen.(
+         let* rate = float_range 150.0 450.0 in
+         let* dur = float_range 4.0 10.0 in
+         let* kind = oneofl [ "syn"; "data"; "pool" ] in
+         return (rate, dur, kind)))
+    (fun (rate, dur, kind) ->
+      let plan =
+        ok_plan (Printf.sprintf "flood@5+%g:rate=%g,kind=%s" dur rate kind)
+      in
+      let o =
+        Fault_drill.run ~scenario:"prop-flood" ~plan ~queue:Common.taq_marker ()
+      in
+      o.Fault_drill.ok
+      && o.Fault_drill.degraded_entered > 0
+      && o.Fault_drill.peak_tracked <= o.Fault_drill.tracker_cap
+      && o.Fault_drill.guard_mode = "normal")
+
 (* --- suite ------------------------------------------------------------------ *)
 
 let () =
@@ -378,6 +452,7 @@ let () =
           Alcotest.test_case "rejects invalid" `Quick test_plan_rejects;
           Alcotest.test_case "horizon" `Quick test_plan_horizon;
           Alcotest.test_case "middlebox_only" `Quick test_plan_middlebox_only;
+          Alcotest.test_case "has_flood" `Quick test_plan_has_flood;
         ] );
       ( "scenarios",
         [
@@ -408,6 +483,7 @@ let () =
             (test_drill_registry_scenario "corruption-storm" Common.taq_marker);
           Alcotest.test_case "restart proves re-learning" `Quick
             test_drill_restart_proves_relearning;
+          Alcotest.test_case "flood arc" `Quick test_drill_flood_arc;
           Alcotest.test_case "jobs=1 == jobs=4" `Quick
             test_drill_jobs_invariant;
         ] );
@@ -416,5 +492,8 @@ let () =
           QCheck_alcotest.to_alcotest
             ~rand:(Qcheck_seed.rand ~file:"test_fault")
             prop_finite_plan_recovers;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Qcheck_seed.rand ~file:"test_fault")
+            prop_flood_guard_arc;
         ] );
     ]

@@ -48,8 +48,8 @@ let measure ?faults queue =
   let drops = Loss_monitor.drops env.Common.loss in
   (jain, util, loss, drops)
 
-let taq ?admission () =
-  Common.Taq (Common.taq_config ?admission ~capacity_bps ~buffer_pkts ())
+let taq ?admission ?guard_cap () =
+  Common.Taq (Common.taq_config ?admission ?guard_cap ~capacity_bps ~buffer_pkts ())
 
 (* --- the golden table --------------------------------------------------- *)
 
@@ -155,6 +155,43 @@ let fault_goldens =
     };
   ]
 
+(* --- the flood (degraded-mode) golden table -----------------------------
+
+   Same long-flow workload, but a SYN flood slams the bottleneck from
+   t=5 for 10 s. Under a guarded TAQ (tracker capped at 64, well below
+   the flood's distinct-flow churn) the overload guard trips, the
+   discipline degrades to droptail for the duration, and then recovers
+   and re-learns the survivors. These scalars pin the degraded-mode
+   dynamics end to end: cap evictions, the droptail bypass, wait-queue
+   shedding on entry, and the post-flood re-learning all feed the final
+   fairness/loss numbers. The droptail row is the unguarded control:
+   same flood, no guard machinery in the path. *)
+
+let flood_plan =
+  match Taq_fault.Plan.of_string "flood@5+10:rate=300,kind=syn" with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
+let flood_goldens =
+  [
+    {
+      name = "flood/droptail";
+      queue = (fun () -> Common.Droptail);
+      jain = 0.977590;
+      util = 0.997600;
+      loss = 0.133251;
+      drops = 434;
+    };
+    {
+      name = "flood/taq+guard";
+      queue = (fun () -> taq ~admission:true ~guard_cap:64 ());
+      jain = 0.936980;
+      util = 0.998880;
+      loss = 0.163399;
+      drops = 600;
+    };
+  ]
+
 let regen () =
   Printf.printf
     "(* GOLDEN_REGEN output: paste these fields into [goldens]. *)\n";
@@ -173,7 +210,16 @@ let regen () =
       Printf.printf
         "%-14s jain = %.6f;  util = %.6f;  loss = %.6f;  drops = %d;\n" g.name
         jain util loss drops)
-    fault_goldens
+    fault_goldens;
+  Printf.printf
+    "(* GOLDEN_REGEN output: paste these fields into [flood_goldens]. *)\n";
+  List.iter
+    (fun g ->
+      let jain, util, loss, drops = measure ~faults:flood_plan (g.queue ()) in
+      Printf.printf
+        "%-16s jain = %.6f;  util = %.6f;  loss = %.6f;  drops = %d;\n" g.name
+        jain util loss drops)
+    flood_goldens
 
 let tol = 1e-6
 
@@ -199,4 +245,10 @@ let () =
               Alcotest.test_case g.name `Slow
                 (check_golden ~faults:flap_plan g))
             fault_goldens );
+        ( "flood scalars (guard degrades to droptail)",
+          List.map
+            (fun g ->
+              Alcotest.test_case g.name `Slow
+                (check_golden ~faults:flood_plan g))
+            flood_goldens );
       ]

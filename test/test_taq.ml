@@ -508,6 +508,193 @@ let test_admission_feedback_cleared_on_admit () =
   Alcotest.(check bool) "no feedback once admitted" true
     (Admission.feedback a ~key:5 = None)
 
+let test_admission_waiting_expiry () =
+  (* A client that never retries its SYN must not occupy the waiting
+     table (and block the Twait FIFO head) forever. *)
+  let a, clock = admission_fixture () in
+  for _ = 1 to 2000 do
+    Admission.note_arrival a;
+    Admission.note_drop a
+  done;
+  ignore (Admission.on_syn a ~key:1);
+  ignore (Admission.on_syn a ~key:2);
+  Alcotest.(check int) "two waiting" 2 (Admission.waiting_count a);
+  clock := !clock +. Taq_config.default_admission.Taq_config.pool_expiry +. 1.0;
+  Admission.expire a;
+  Alcotest.(check int) "waiting pruned" 0 (Admission.waiting_count a);
+  Alcotest.(check bool) "Twait FIFO pruned too" true
+    (Admission.feedback a ~key:1 = None)
+
+let test_admission_shed_waiting () =
+  let a, _clock = admission_fixture () in
+  for _ = 1 to 2000 do
+    Admission.note_arrival a;
+    Admission.note_drop a
+  done;
+  for key = 1 to 5 do
+    ignore (Admission.on_syn a ~key)
+  done;
+  Alcotest.(check int) "five waiting" 5 (Admission.waiting_count a);
+  Admission.shed_waiting a;
+  Alcotest.(check int) "all shed" 0 (Admission.waiting_count a);
+  Alcotest.(check bool) "FIFO empty" true (Admission.feedback a ~key:3 = None)
+
+(* --- Flow_tracker cap --------------------------------------------------------------- *)
+
+let capped_tracker_fixture ~cap () =
+  let clock = ref 0.0 in
+  let config =
+    Taq_config.with_guard ~max_tracked_flows:cap
+      {
+        (Taq_config.default ~capacity_pkts:50 ~capacity_bps:1e6) with
+        Taq_config.epoch_source = Taq_config.Oracle 0.2;
+      }
+  in
+  let t = Flow_tracker.create ~config ~now:(fun () -> !clock) () in
+  (t, clock)
+
+let test_tracker_cap_never_exceeded () =
+  let t, clock = capped_tracker_fixture ~cap:4 () in
+  for flow = 1 to 12 do
+    clock := !clock +. 0.01;
+    ignore (Flow_tracker.observe_data t (mk_data ~flow ~seq:0 ()));
+    Alcotest.(check bool) "tracked <= cap" true
+      (Flow_tracker.tracked_flow_count t <= 4)
+  done;
+  Alcotest.(check int) "peak is the cap" 4 (Flow_tracker.peak_tracked t);
+  Alcotest.(check int) "evictions counted" 8 (Flow_tracker.cap_evictions t)
+
+let test_tracker_cap_evicts_lru () =
+  let t, clock = capped_tracker_fixture ~cap:3 () in
+  (* Flows 1..3 fill the table; flow 1 is then refreshed, so flow 2 is
+     the least recently seen when flow 4 arrives. *)
+  List.iter
+    (fun flow ->
+      clock := !clock +. 0.1;
+      ignore (Flow_tracker.observe_data t (mk_data ~flow ~seq:0 ())))
+    [ 1; 2; 3 ];
+  clock := !clock +. 0.1;
+  ignore (Flow_tracker.observe_data t (mk_data ~flow:1 ~seq:1 ()));
+  clock := !clock +. 0.1;
+  ignore (Flow_tracker.observe_data t (mk_data ~flow:4 ~seq:0 ()));
+  Alcotest.(check int) "still at cap" 3 (Flow_tracker.tracked_flow_count t);
+  (* Flow 2's state is gone: its next packet classes as a brand-new
+     flow (seq 0 already seen would otherwise read as a repeat). *)
+  Alcotest.(check bool) "victim was the LRU flow" true
+    (Flow_tracker.observe_data t (mk_data ~flow:2 ~seq:0 ())
+    = Flow_tracker.New_data)
+
+(* --- Overload guard ----------------------------------------------------------------- *)
+
+let guard_fixture ?(cap = 8) () =
+  let clock = ref 0.0 in
+  let guard =
+    {
+      Taq_config.trip_after = 0.2;
+      clear_after = 0.5;
+      min_dwell = 1.0;
+      recovery_dwell = 1.0;
+      waiting_high = 4;
+    }
+  in
+  let g = Overload.create ~guard ~cap ~now:(fun () -> !clock) () in
+  (g, clock)
+
+(* Step the fake clock in [dt] increments, feeding [evictions] fresh
+   cap evictions per sample when [pressure] is on. *)
+let drive g clock ~pressure ~until ~dt =
+  let evictions = ref 0 in
+  let base = !clock in
+  while !clock -. base < until -. 1e-9 do
+    clock := !clock +. dt;
+    if pressure then incr evictions;
+    Overload.sample g ~tracked:1
+      ~cap_evictions:(if pressure then !evictions else 0)
+      ~waiting:0
+  done
+
+let test_guard_trips_only_on_sustained_pressure () =
+  let g, clock = guard_fixture () in
+  (* A single pressured sample is not sustained: no trip. *)
+  Overload.sample g ~tracked:1 ~cap_evictions:1 ~waiting:0;
+  drive g clock ~pressure:false ~until:2.0 ~dt:0.05;
+  Alcotest.(check bool) "blip ignored" true (Overload.mode g = Overload.Normal);
+  (* Sustained churn trips it. *)
+  drive g clock ~pressure:true ~until:1.0 ~dt:0.05;
+  Alcotest.(check bool) "tripped" true (Overload.mode g = Overload.Degraded);
+  Alcotest.(check int) "entered once" 1 (Overload.degraded_entered g)
+
+let test_guard_full_arc_and_dwells () =
+  let g, clock = guard_fixture () in
+  drive g clock ~pressure:true ~until:1.5 ~dt:0.05;
+  Alcotest.(check bool) "degraded" true (Overload.mode g = Overload.Degraded);
+  (* Calm must persist for clear_after AND the mode dwell must reach
+     min_dwell before the exit begins. *)
+  drive g clock ~pressure:false ~until:0.3 ~dt:0.05;
+  Alcotest.(check bool) "still degraded inside dwell" true
+    (Overload.mode g = Overload.Degraded);
+  (* Trip happened at ~t=1.05 (dwell floor), so the exit opens at
+     ~t=2.05; stop at ~t=2.5, inside the recovery dwell. *)
+  drive g clock ~pressure:false ~until:0.7 ~dt:0.05;
+  Alcotest.(check bool) "recovering" true
+    (Overload.mode g = Overload.Recovering);
+  drive g clock ~pressure:false ~until:1.5 ~dt:0.05;
+  Alcotest.(check bool) "normal again" true (Overload.mode g = Overload.Normal);
+  Alcotest.(check int) "one full cycle" 1 (Overload.degraded_exited g)
+
+let test_guard_recovering_retrips () =
+  let g, clock = guard_fixture () in
+  drive g clock ~pressure:true ~until:1.5 ~dt:0.05;
+  (* Calm long enough to reach Recovering (~t=2.05) but not long
+     enough to complete the recovery dwell. *)
+  drive g clock ~pressure:false ~until:1.3 ~dt:0.05;
+  Alcotest.(check bool) "recovering" true
+    (Overload.mode g = Overload.Recovering);
+  (* Pressure during recovery sends it straight back once the dwell
+     floor is met — no need to re-sustain trip_after. *)
+  drive g clock ~pressure:true ~until:1.2 ~dt:0.05;
+  Alcotest.(check bool) "re-degraded" true
+    (Overload.mode g = Overload.Degraded);
+  Alcotest.(check int) "entered twice" 2 (Overload.degraded_entered g)
+
+let test_guard_waiting_backlog_is_pressure () =
+  let g, clock = guard_fixture () in
+  let base = !clock in
+  while !clock -. base < 1.5 do
+    clock := !clock +. 0.05;
+    Overload.sample g ~tracked:1 ~cap_evictions:0 ~waiting:10
+  done;
+  Alcotest.(check bool) "admission backlog trips the guard" true
+    (Overload.mode g = Overload.Degraded)
+
+let test_config_guard_validation () =
+  let base = Taq_config.default ~capacity_pkts:10 ~capacity_bps:1e6 in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "cap < 1 rejected" true
+    (raises (fun () -> Taq_config.with_guard ~max_tracked_flows:0 base));
+  Alcotest.(check bool) "negative dwell rejected" true
+    (raises (fun () ->
+         Taq_config.with_guard
+           ~guard:{ Taq_config.default_guard with Taq_config.min_dwell = -1.0 }
+           ~max_tracked_flows:16 base));
+  Alcotest.(check bool) "clear_after <= 0 rejected" true
+    (raises (fun () ->
+         Taq_config.with_guard
+           ~guard:{ Taq_config.default_guard with Taq_config.clear_after = 0.0 }
+           ~max_tracked_flows:16 base));
+  Alcotest.(check bool) "waiting_high < 1 rejected" true
+    (raises (fun () ->
+         Taq_config.with_guard
+           ~guard:{ Taq_config.default_guard with Taq_config.waiting_high = 0 }
+           ~max_tracked_flows:16 base));
+  let ok = Taq_config.with_guard ~max_tracked_flows:16 base in
+  Alcotest.(check int) "cap installed" 16 ok.Taq_config.max_tracked_flows;
+  Alcotest.(check bool) "guard installed" true (ok.Taq_config.guard <> None)
+
 (* --- Taq_disc (unit) ---------------------------------------------------------------- *)
 
 let disc_fixture ?(capacity_pkts = 10) ?(admission = false) () =
@@ -611,6 +798,46 @@ let test_disc_conservation () =
   done;
   Alcotest.(check int) "conservation" !offered
     (!served + !drops + d.Disc.length ())
+
+let test_disc_degraded_bypass () =
+  let sim = Sim.create () in
+  let base = Taq_config.default ~capacity_pkts:50 ~capacity_bps:1e6 in
+  let config =
+    Taq_config.with_guard ~max_tracked_flows:8
+      { base with Taq_config.epoch_source = Taq_config.Oracle 0.2 }
+  in
+  let t = Taq_disc.create ~sim ~config () in
+  let d = Taq_disc.disc t in
+  (* A churn of brand-new flows, one every 5 ms for 2 s: every arrival
+     past the cap evicts an entry, so each guard sample sees fresh
+     eviction churn and the guard trips. Dequeues keep the buffer
+     drained so drops never muddy the picture. *)
+  let flow = ref 100 in
+  for i = 0 to 399 do
+    ignore
+      (Sim.schedule sim
+         ~at:(0.005 *. float_of_int i)
+         (fun () ->
+           incr flow;
+           ignore (d.Disc.enqueue (mk_data ~flow:!flow ~seq:0 ()));
+           ignore (d.Disc.dequeue ())))
+  done;
+  Sim.run ~until:3.0 sim;
+  (match Taq_disc.guard t with
+  | None -> Alcotest.fail "guard expected on this config"
+  | Some g ->
+      Alcotest.(check bool) "degraded under churn" true (Overload.degraded g));
+  Alcotest.(check bool) "tracker stayed bounded" true
+    (Flow_tracker.peak_tracked (Taq_disc.tracker t) <= 8);
+  (* While degraded, classification is bypassed: a repeat sequence
+     (Recovery-class in normal mode) goes FIFO into the base class
+     like everything else. *)
+  ignore (d.Disc.enqueue (mk_data ~flow:42 ~seq:0 ()));
+  ignore (d.Disc.enqueue (mk_data ~flow:42 ~seq:0 ()));
+  Alcotest.(check int) "recovery class untouched" 0
+    (Taq_queues.class_length (Taq_disc.queues t) Taq_queues.Recovery);
+  Alcotest.(check int) "both packets FIFO'd in the base class" 2
+    (Taq_queues.class_length (Taq_disc.queues t) Taq_queues.Below_fair_share)
 
 (* --- Integration: TAQ vs droptail fairness --------------------------------------- *)
 
@@ -872,6 +1099,23 @@ let () =
             test_admission_feedback_queue_positions;
           Alcotest.test_case "feedback cleared" `Quick
             test_admission_feedback_cleared_on_admit;
+          Alcotest.test_case "waiting expiry" `Quick test_admission_waiting_expiry;
+          Alcotest.test_case "shed waiting" `Quick test_admission_shed_waiting;
+        ] );
+      ( "tracker_cap",
+        [
+          Alcotest.test_case "never exceeded" `Quick test_tracker_cap_never_exceeded;
+          Alcotest.test_case "evicts lru" `Quick test_tracker_cap_evicts_lru;
+        ] );
+      ( "overload_guard",
+        [
+          Alcotest.test_case "sustained pressure" `Quick
+            test_guard_trips_only_on_sustained_pressure;
+          Alcotest.test_case "full arc" `Quick test_guard_full_arc_and_dwells;
+          Alcotest.test_case "recovering retrips" `Quick test_guard_recovering_retrips;
+          Alcotest.test_case "waiting backlog" `Quick
+            test_guard_waiting_backlog_is_pressure;
+          Alcotest.test_case "config validation" `Quick test_config_guard_validation;
         ] );
       ( "taq_disc",
         [
@@ -881,6 +1125,7 @@ let () =
             test_disc_syn_rejected_under_admission_pressure;
           Alcotest.test_case "syn admitted" `Quick test_disc_syn_admitted_when_clear;
           Alcotest.test_case "conservation" `Quick test_disc_conservation;
+          Alcotest.test_case "degraded bypass" `Quick test_disc_degraded_bypass;
         ] );
       ( "integration",
         [

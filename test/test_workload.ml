@@ -344,6 +344,90 @@ let prop_trace_sorted_and_bounded =
           && r.Trace.size <= size_params.Object_size.max_bytes)
         t)
 
+(* --- Flood ------------------------------------------------------------------
+
+   The adversarial generators behind the overload guard's flood drills:
+   storms of 40-byte fresh-flow packets. These tests pin the contract
+   the fault injector and the drills rely on — exact arrival window,
+   Poisson rate, per-seed determinism, a separate flow-id space, and a
+   bounded endpoint map. *)
+
+module Flood = Taq_workload.Flood
+
+let flood_fixture () =
+  let sim = Sim.create () in
+  let disc = Taq_queueing.Droptail.create ~capacity_pkts:100 in
+  let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
+  (sim, net)
+
+let test_flood_kind_roundtrip () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Flood.kind_name k) true
+        (Flood.kind_of_string (Flood.kind_name k) = Some k))
+    [ Flood.Syn_churn; Flood.One_packet; Flood.Pool_churn ];
+  Alcotest.(check bool) "unknown kind" true (Flood.kind_of_string "weird" = None)
+
+let test_flood_window_and_rate () =
+  let sim, net = flood_fixture () in
+  let prng = Taq_util.Prng.create ~seed:7 in
+  let hook = ref 0 in
+  let f =
+    Flood.install
+      ~on_send:(fun () -> incr hook)
+      ~net ~prng ~kind:Flood.Syn_churn ~rate:200.0 ~at:1.0 ~duration:5.0 ()
+  in
+  Sim.run ~until:0.99 sim;
+  Alcotest.(check int) "silent before onset" 0 (Flood.sent f);
+  Sim.run ~until:20.0 sim;
+  let n = Flood.sent f in
+  Alcotest.(check int) "on_send fired per packet" n !hook;
+  (* Poisson(mean 1000): 4 sigma is ~±126. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sent ~ rate*duration (%d)" n)
+    true
+    (n > 800 && n < 1200)
+
+let test_flood_deterministic_and_id_space () =
+  let run () =
+    let sim, net = flood_fixture () in
+    (* Ordinary traffic draws ids from the net's own cursor... *)
+    let normal_before = Dumbbell.next_flow_id net in
+    let prng = Taq_util.Prng.create ~seed:11 in
+    let f =
+      Flood.install ~net ~prng ~kind:Flood.Pool_churn ~rate:150.0 ~at:0.0
+        ~duration:3.0 ()
+    in
+    Sim.run ~until:10.0 sim;
+    (* ... and the flood never advances it: non-flood traces are
+       byte-identical with and without the flood installed. *)
+    Alcotest.(check int)
+      "normal id cursor untouched" (normal_before + 1)
+      (Dumbbell.next_flow_id net);
+    (* Every flood registration was reclaimed: the endpoint map is
+       bounded no matter how long the storm ran. *)
+    Alcotest.(check int) "endpoint map drained" 0 (Dumbbell.flow_count net);
+    Flood.sent f
+  in
+  Alcotest.(check int) "deterministic in seed" (run ()) (run ())
+
+let test_flood_rejects () =
+  let _, net = flood_fixture () in
+  let prng = Taq_util.Prng.create ~seed:1 in
+  List.iter
+    (fun (name, rate, duration) ->
+      Alcotest.check_raises name
+        (Invalid_argument
+           (if rate <= 0.0 then "Flood.install: rate"
+            else "Flood.install: duration"))
+        (fun () ->
+          ignore
+            (Flood.install ~net ~prng ~kind:Flood.One_packet ~rate ~at:0.0
+               ~duration ())))
+    [ ("zero rate", 0.0, 1.0); ("negative rate", -5.0, 1.0);
+      ("negative duration", 10.0, -1.0) ]
+
 (* The trace generator is a pure function of (params, seed). *)
 let prop_trace_deterministic =
   QCheck.Test.make ~name:"trace generation deterministic in seed" ~count:25
@@ -399,6 +483,15 @@ let () =
             test_session_download_time_scales_with_size;
           Alcotest.test_case "hangs recorder" `Quick test_session_feeds_hangs_recorder;
           Alcotest.test_case "accounting" `Quick test_session_fetch_accounting;
+        ] );
+      ( "flood",
+        [
+          Alcotest.test_case "kind roundtrip" `Quick test_flood_kind_roundtrip;
+          Alcotest.test_case "window and rate" `Quick
+            test_flood_window_and_rate;
+          Alcotest.test_case "deterministic, separate id space" `Quick
+            test_flood_deterministic_and_id_space;
+          Alcotest.test_case "rejects" `Quick test_flood_rejects;
         ] );
       ("properties", qcheck_props);
     ]
