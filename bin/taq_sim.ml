@@ -113,6 +113,58 @@ let setup_faults spec =
           Ok (Some plan)
       | Error msg -> Error msg)
 
+(* --- traffic backend ---------------------------------------------------- *)
+
+(* [--backend=hybrid] swaps the background cohort for the mean-field
+   fluid aggregate (lib/fluid): the env attaches a Source ticking every
+   --fluid-dt, and the foreground flows spawned by the subcommand stay
+   real packet-level TCP. The default packet backend takes exactly the
+   construction path it always did, so its outputs are byte-identical
+   to builds that predate the fluid subsystem. *)
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("packet", `Packet); ("hybrid", `Hybrid) ]) `Packet
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Traffic backend: $(b,packet) (every flow is a real TCP state \
+           machine; the default) or $(b,hybrid) (the background cohort is a \
+           mean-field fluid aggregate coupled to the bottleneck — size it \
+           with $(b,--bg-flows), step it with $(b,--fluid-dt)).")
+
+let bg_flows_arg =
+  Arg.(
+    value & opt int 60
+    & info [ "bg-flows" ] ~docv:"N"
+        ~doc:
+          "Hybrid backend only: background flows modeled by the fluid \
+           aggregate.")
+
+let fluid_dt_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "fluid-dt" ] ~docv:"S"
+        ~doc:"Hybrid backend only: fluid integration step, seconds.")
+
+(* Unresolved backend request: capacity- and buffer-independent, so a
+   sweep can carry one spec across the grid and resolve it per point. *)
+type backend_spec = {
+  bk_kind : [ `Packet | `Hybrid ];
+  bk_bg_flows : int;
+  bk_fluid_dt : float;
+}
+
+let resolve_backend backend ~bg_flows ~fluid_dt ~rtt ~capacity_bps ~buffer_pkts
+    =
+  match backend with
+  | `Packet -> Common.Packet
+  | `Hybrid ->
+      Common.Hybrid
+        (Taq_fluid.Model.make_params ~rtt_prop:rtt ~pkt_bytes:Common.pkt_bytes
+           ~dt:fluid_dt ~n_flows:bg_flows ~capacity_bps
+           ~buffer_bytes:(buffer_pkts * Common.pkt_bytes)
+           ())
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -229,8 +281,8 @@ let sim_cmd =
             "Record every enqueue/drop/delivery at the bottleneck and write \
              the packet log as CSV to $(docv).")
   in
-  let run queue capacity flows rtt duration buffer_rtts seed guard pcap check
-      obs faults =
+  let run queue capacity flows rtt duration buffer_rtts seed guard pcap backend
+      bg_flows fluid_dt check obs faults =
    match setup_check check with
    | Error msg -> `Error (false, msg)
    | Ok check_enabled ->
@@ -243,6 +295,10 @@ let sim_cmd =
    (try
     let buffer_pkts =
       Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
+    in
+    let backend =
+      resolve_backend backend ~bg_flows ~fluid_dt ~rtt ~capacity_bps:capacity
+        ~buffer_pkts
     in
     let q =
       match queue with
@@ -260,7 +316,8 @@ let sim_cmd =
                ~capacity_bps:capacity ~buffer_pkts ())
     in
     let env =
-      Common.make_env ~queue:q ~capacity_bps:capacity ~buffer_pkts ~seed ()
+      Common.make_env ~backend ~queue:q ~capacity_bps:capacity ~buffer_pkts
+        ~seed ()
     in
     let log =
       Option.map
@@ -283,8 +340,11 @@ let sim_cmd =
       Taq_metrics.Flow_evolution.series env.Common.evolution ~until:duration
     in
     Printf.printf
-      "queue=%s capacity=%.0fbps flows=%d buffer=%dpkts duration=%.0fs\n"
-      (Common.queue_name q) capacity flows buffer_pkts duration;
+      "queue=%s backend=%s capacity=%.0fbps flows=%d buffer=%dpkts \
+       duration=%.0fs\n"
+      (Common.queue_name q)
+      (Common.backend_name backend)
+      capacity flows buffer_pkts duration;
     Printf.printf "  short-term Jain (20s slices): %.3f\n"
       (Taq_metrics.Slicer.mean_jain env.Common.slicer ~flows:ids ~first:1 ());
     Printf.printf "  long-term Jain:               %.3f\n"
@@ -311,6 +371,9 @@ let sim_cmd =
               (Taq_core.Overload.report g)
               (Taq_core.Flow_tracker.peak_tracked tr)
               (Taq_core.Flow_tracker.cap_evictions tr));
+    (match env.Common.fluid with
+    | None -> ()
+    | Some src -> Printf.printf "  %s\n" (Taq_fluid.Source.report src));
     (match env.Common.faults with
     | None -> ()
     | Some inj -> Printf.printf "  %s\n" (Taq_fault.Injector.report inj));
@@ -325,7 +388,8 @@ let sim_cmd =
     Term.(
       ret
         (const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts
-       $ seed $ guard $ pcap $ check_arg $ obs_arg $ faults_arg))
+       $ seed $ guard $ pcap $ backend_arg $ bg_flows_arg $ fluid_dt_arg
+       $ check_arg $ obs_arg $ faults_arg))
 
 (* --- sweep ---------------------------------------------------------------- *)
 
@@ -334,9 +398,13 @@ let sim_cmd =
    whichever worker domain runs it, in whatever order. Output goes
    through the Out sink so the harness captures it per task. *)
 let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~guard
-    ~rep ~seed () =
+    ~backend ~rep ~seed () =
   let buffer_pkts =
     Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
+  in
+  let backend =
+    resolve_backend backend.bk_kind ~bg_flows:backend.bk_bg_flows
+      ~fluid_dt:backend.bk_fluid_dt ~rtt ~capacity_bps:capacity ~buffer_pkts
   in
   let q =
     match queue with
@@ -357,18 +425,24 @@ let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~guard
     Common.flows_for_fair_share ~capacity_bps:capacity ~fair_share_bps:fair_share
   in
   let env =
-    Common.make_env ~queue:q ~capacity_bps:capacity ~buffer_pkts ~seed ()
+    Common.make_env ~backend ~queue:q ~capacity_bps:capacity ~buffer_pkts ~seed
+      ()
   in
   let ids = Common.spawn_long_flows env ~n:flows ~rtt ~rtt_jitter:0.1 () in
   Common.run env ~until:duration;
   let out = Taq_util.Out.printf in
-  out "queue=%s capacity=%.0f fair_share=%.0f flows=%d rep=%d seed=%d\n"
-    (Common.queue_name q) capacity fair_share flows rep seed;
+  out "queue=%s backend=%s capacity=%.0f fair_share=%.0f flows=%d rep=%d seed=%d\n"
+    (Common.queue_name q)
+    (Common.backend_name backend)
+    capacity fair_share flows rep seed;
   out "  jain_short=%.3f jain_long=%.3f utilization=%.3f loss_rate=%.4f\n"
     (Taq_metrics.Slicer.mean_jain env.Common.slicer ~flows:ids ~first:1 ())
     (Taq_metrics.Slicer.long_term_jain env.Common.slicer ~flows:ids)
     (Common.utilization env)
-    (Common.measured_loss_rate env)
+    (Common.measured_loss_rate env);
+  match env.Common.fluid with
+  | None -> ()
+  | Some src -> out "  %s\n" (Taq_fluid.Source.report src)
 
 let sweep_cmd =
   let queues =
@@ -464,7 +538,8 @@ let sweep_cmd =
              --timeout-s (the hanging task is only bounded by the deadline).")
   in
   let run queues capacities fair_shares reps rtt duration buffer_rtts guard
-      jobs results_dir no_cache timeout_s retries chaos check obs faults =
+      backend bg_flows fluid_dt jobs results_dir no_cache timeout_s retries
+      chaos check obs faults =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else if chaos && timeout_s = None then
       `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
@@ -501,19 +576,34 @@ let sweep_cmd =
         | Some cap -> Printf.sprintf "/guard=%d" cap
         | None -> ""
       in
+      let backend_spec =
+        { bk_kind = backend; bk_bg_flows = bg_flows; bk_fluid_dt = fluid_dt }
+      in
       let points =
         List.concat_map
           (fun queue ->
             List.concat_map
               (fun capacity ->
+                (* The fluid params (and hence the key suffix) depend on
+                   the point's capacity through the buffer sizing. *)
+                let backend_suffix =
+                  let buffer_pkts =
+                    Common.buffer_for_rtts ~capacity_bps:capacity ~rtt
+                      ~rtts:buffer_rtts
+                  in
+                  Common.backend_key_suffix
+                    (resolve_backend backend ~bg_flows ~fluid_dt ~rtt
+                       ~capacity_bps:capacity ~buffer_pkts)
+                in
                 List.concat_map
                   (fun fair_share ->
                     List.init reps (fun rep ->
                         let key =
                           Printf.sprintf
-                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s%s"
+                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s%s%s"
                             (queue_tag queue) capacity fair_share rtt duration
                             buffer_rtts rep fault_suffix guard_suffix
+                            backend_suffix
                         in
                         (key, queue, capacity, fair_share, rep)))
                   fair_shares)
@@ -536,7 +626,8 @@ let sweep_cmd =
                   (Harness.Task.make ~key (fun ~seed ->
                        Harness.Capture.text
                          (sweep_point ~queue ~capacity ~fair_share ~rtt
-                            ~duration ~buffer_rtts ~guard ~rep ~seed))))
+                            ~duration ~buffer_rtts ~guard ~backend:backend_spec
+                            ~rep ~seed))))
           points
       in
       (* Deliberately unhealthy tasks: exercise the pool's quarantine
@@ -659,8 +750,9 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
-       $ buffer_rtts $ guard $ jobs $ results_dir $ no_cache $ timeout_s $ retries
-       $ chaos $ check_arg $ obs_arg $ faults_arg))
+       $ buffer_rtts $ guard $ backend_arg $ bg_flows_arg $ fluid_dt_arg $ jobs
+       $ results_dir $ no_cache $ timeout_s $ retries $ chaos $ check_arg
+       $ obs_arg $ faults_arg))
 
 (* --- faults --------------------------------------------------------------- *)
 
@@ -985,6 +1077,103 @@ let trace_cmd =
   let doc = "Generate a synthetic proxy access trace" in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ out $ clients $ duration $ seed)
 
+(* --- mega ------------------------------------------------------------------ *)
+
+(* The mega tier from the CLI: a million (by default) modeled
+   background flows streamed out of the constant-memory cohort
+   generator, sharded across the Domain pool, each shard a hybrid
+   (fluid-background) environment. Counters are deterministic at any
+   --jobs, which is what the CI smoke diffs. *)
+let mega_cmd =
+  let flows =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "flows" ] ~docv:"N" ~doc:"Modeled background population.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Independent sub-systems the population factors into.")
+  in
+  let capacity =
+    Arg.(
+      value & opt float 2.4e9
+      & info [ "c"; "capacity" ] ~docv:"BPS"
+          ~doc:"Aggregate bottleneck capacity, split across shards.")
+  in
+  let fg_flows =
+    Arg.(
+      value & opt int 4
+      & info [ "fg-flows" ] ~docv:"N"
+          ~doc:"Packet-level foreground flows per shard.")
+  in
+  let rtt =
+    Arg.(value & opt float 0.2 & info [ "rtt" ] ~docv:"S" ~doc:"Base RTT.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "d"; "duration" ] ~docv:"S" ~doc:"Run length.")
+  in
+  let fluid_dt =
+    Arg.(
+      value & opt float 0.05
+      & info [ "fluid-dt" ] ~docv:"S" ~doc:"Fluid integration step, seconds.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Cohort seed.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Shard results merge in shard order, so the \
+             counters are byte-identical at any job count.")
+  in
+  let run flows shards capacity fg_flows rtt duration fluid_dt seed jobs check
+      obs =
+   match setup_check check with
+   | Error msg -> `Error (false, msg)
+   | Ok check_enabled ->
+   match setup_obs obs with
+   | Error msg -> `Error (false, msg)
+   | Ok obs_enabled ->
+   (try
+    let p =
+      {
+        Mega_tier.total_flows = flows;
+        shards;
+        capacity_bps = capacity;
+        fg_flows;
+        rtt;
+        duration;
+        buffer_rtts = 1.0;
+        dt = fluid_dt;
+        seed;
+      }
+    in
+    let r = Mega_tier.run ~jobs p in
+    Mega_tier.print r;
+    if check_enabled then
+      Printf.printf "invariant checks: clean (%d shard(s))\n" shards;
+    if obs_enabled then
+      finish_obs
+        (Obs.merge_all (Obs.root_snapshot () :: r.Mega_tier.obs_snaps));
+    `Ok ()
+   with
+   | Check.Violation msg ->
+       `Error (false, Printf.sprintf "invariant violation: %s" msg)
+   | Failure msg -> `Error (false, msg))
+  in
+  let doc = "Million-flow hybrid tier on the Domain worker pool" in
+  Cmd.v (Cmd.info "mega" ~doc)
+    Term.(
+      ret
+        (const run $ flows $ shards $ capacity $ fg_flows $ rtt $ duration
+       $ fluid_dt $ seed $ jobs $ check_arg $ obs_arg))
+
 let () =
   let doc = "TAQ: Timeout Aware Queuing (EuroSys'14) reproduction toolkit" in
   let info = Cmd.info "taq_sim" ~version:"1.0.0" ~doc in
@@ -992,6 +1181,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            experiment_cmd; sim_cmd; sweep_cmd; faults_cmd; model_cmd;
-            trace_cmd; replay_cmd;
+            experiment_cmd; sim_cmd; sweep_cmd; mega_cmd; faults_cmd;
+            model_cmd; trace_cmd; replay_cmd;
           ]))

@@ -1,7 +1,7 @@
-type group = Engine | Net | Queueing | Tcp | Core | Guard
+type group = Engine | Net | Queueing | Tcp | Core | Guard | Fluid
 
-let all_groups = [ Engine; Net; Queueing; Tcp; Core; Guard ]
-let n_groups = 6
+let all_groups = [ Engine; Net; Queueing; Tcp; Core; Guard; Fluid ]
+let n_groups = 7
 
 let index = function
   | Engine -> 0
@@ -10,6 +10,7 @@ let index = function
   | Tcp -> 3
   | Core -> 4
   | Guard -> 5
+  | Fluid -> 6
 
 let bit g = 1 lsl index g
 
@@ -20,6 +21,7 @@ let group_name = function
   | Tcp -> "tcp"
   | Core -> "core"
   | Guard -> "guard"
+  | Fluid -> "fluid"
 
 let group_of_string = function
   | "engine" -> Some Engine
@@ -28,6 +30,7 @@ let group_of_string = function
   | "tcp" -> Some Tcp
   | "core" -> Some Core
   | "guard" -> Some Guard
+  | "fluid" -> Some Fluid
   | _ -> None
 
 let groups_of_string s =
@@ -47,7 +50,7 @@ let groups_of_string s =
           Error
             (Printf.sprintf
                "unknown check group %S (expected all, engine, net, queueing, \
-                tcp, core, guard)"
+                tcp, core, guard, fluid)"
                p))
     in
     go [] parts

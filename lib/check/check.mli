@@ -21,6 +21,8 @@ type group =
   | Core       (** TAQ class accounting, flow tracker vs admission *)
   | Guard      (** overload guard: tracked-flows cap, hysteresis dwell,
                    cross-mode packet conservation *)
+  | Fluid      (** hybrid fluid backend: occupancy bounds, window clamp,
+                   conservation of fluid bytes at the bottleneck *)
 
 val all_groups : group list
 val group_name : group -> string

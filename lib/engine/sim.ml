@@ -40,6 +40,20 @@ let schedule_after t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
   schedule t ~at:(t.clock +. delay) f
 
+let every t ~period ~until f =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  (* Accumulating [at +. period] (rather than [t0 +. k *. period]) is
+     deterministic and keeps each tick strictly after the previous one
+     even when [period] is not exactly representable. *)
+  let rec go at =
+    if at <= until then
+      ignore
+        (schedule t ~at (fun () ->
+             f ();
+             go (at +. period)))
+  in
+  go (t.clock +. period)
+
 let cancel h = h.cancelled <- true
 
 let is_pending h = (not h.cancelled) && not h.fired

@@ -37,6 +37,14 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f].
     Negative delays are clamped to 0. *)
 
+val every : t -> period:float -> until:float -> (unit -> unit) -> unit
+(** [every t ~period ~until f] runs [f] at [now + period],
+    [now + 2·period], … for every tick at or before [until] — the
+    fixed-step coupling hook used by continuous processes (the fluid
+    background backend) that must advance as ordinary calendar events
+    so they interleave deterministically with packet events. Raises
+    [Invalid_argument] on a non-positive [period]. *)
+
 val cancel : handle -> unit
 (** Cancelling an already-run or already-cancelled event is a no-op. *)
 

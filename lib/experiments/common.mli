@@ -29,12 +29,34 @@ type env = {
   faults : Taq_fault.Injector.t option;
       (** present when a fault plan (explicit or ambient [--faults])
           was installed on this environment *)
+  fluid : Taq_fluid.Source.t option;
+      (** present when the env was built with [backend = Hybrid _] *)
 }
+
+(** {1 Traffic backends}
+
+    [Packet] is the default everywhere: every flow is a real
+    packet-level TCP state machine, and nothing in the environment
+    changes — runs are byte-identical to a build that predates the
+    hybrid backend. [Hybrid] adds a mean-field fluid background
+    aggregate ({!Taq_fluid}) on the bottleneck; the foreground cohort
+    of real flows still traverses the disc packet by packet. *)
+
+type backend = Packet | Hybrid of Taq_fluid.Model.params
+
+val backend_name : backend -> string
+(** ["packet" | "hybrid"]. *)
+
+val backend_key_suffix : backend -> string
+(** What a sweep/mega task key must append so that hybrid points never
+    alias packet points in the cache: [""] for [Packet],
+    ["/backend=hybrid/fluid=<canonical params>"] for [Hybrid]. *)
 
 val make_env :
   ?check:Taq_check.Check.t ->
   ?obs:Taq_obs.Obs.t ->
   ?faults:Taq_fault.Plan.t ->
+  ?backend:backend ->
   queue:queue ->
   capacity_bps:float ->
   buffer_pkts:int ->
@@ -57,7 +79,14 @@ val make_env :
     (default [Taq_fault.Plan.ambient ()], i.e. the CLI's [--faults]
     plan when one was installed) attaches a fault injector to the
     bottleneck, seeded from a split of the env's root PRNG; fault-free
-    envs draw exactly the random streams they always did. *)
+    envs draw exactly the random streams they always did. [backend]
+    (default [Packet]) selects the traffic backend: [Hybrid p]
+    attaches a {!Taq_fluid.Source} to the bottleneck (ticking every
+    [p.dt] for the whole run) and, for indiscriminate disciplines
+    (everything but TAQ), interposes the {!Taq_fluid.Shared_loss}
+    reverse coupling in front of the queue. Packet-backend envs take
+    exactly the construction path they always did — no extra PRNG
+    splits, no wrappers — so their runs stay byte-identical. *)
 
 val taq_config :
   ?admission:bool -> ?guard_cap:int -> capacity_bps:float ->

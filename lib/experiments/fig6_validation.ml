@@ -115,23 +115,20 @@ let run_bernoulli p_params ~variant ~p =
   in
   let prng = Taq_util.Prng.create ~seed:p_params.seed in
   let delivered = ref 0 in
+  (* Stationary Bernoulli loss as a fault plan: one forward-path tap
+     shared by every flow, drawing from the injector's split stream. *)
+  ignore
+    (Taq_fault.Injector.install ~net
+       ~prng:(Taq_util.Prng.split prng)
+       [ Taq_fault.Plan.Loss { p } ]);
   (* A handful of independent flows to grow the sample faster. *)
   for _ = 1 to 8 do
     let session =
       Tcp_session.create ~net ~config:tcp ~rtt_prop:p_params.rtt
         ~total_segments:max_int ()
     in
-    let flow = Tcp_session.flow_id session in
-    let el = Taq_net.External_loss.create ~prng:(Taq_util.Prng.split prng) ~p in
     Tcp_receiver.on_segment (Tcp_session.receiver session) (fun _ ->
         incr delivered);
-    (* Re-register with lossy forward delivery. *)
-    Dumbbell.unregister_flow net ~flow;
-    Dumbbell.register_flow net ~flow ~rtt_prop:p_params.rtt
-      ~deliver_fwd:
-        (Taq_net.External_loss.wrap el (fun pkt ->
-             Tcp_receiver.on_packet (Tcp_session.receiver session) pkt))
-      ~deliver_rev:(fun pkt -> Tcp_sender.on_ack (Tcp_session.sender session) pkt);
     Taq_metrics.Occupancy.attach occ (Tcp_session.sender session);
     Tcp_session.start session
   done;

@@ -1,0 +1,74 @@
+(** The mega tier: a million modeled background flows, sharded across
+    the harness Domain pool.
+
+    By symmetry of the mean-field limit, a system of [N] flows through
+    a bottleneck of capacity [C] factors into [S] independent
+    sub-systems of [N/S] flows and [C/S] capacity each. Each shard is
+    one {!Taq_harness.Task}: it streams its slice of the cohort out of
+    the constant-memory {!Taq_workload.Mega} generator, folds it to a
+    population digest, runs a hybrid environment (a small packet-level
+    foreground cohort over the shard's bottleneck, the digest driving
+    a {!Taq_fluid} aggregate), and reports its ledger. Shard results
+    merge in index order, so the totals — and every [fluid.*] counter
+    — are byte-identical at any [--jobs] count.
+
+    With [jobs = 1] shards run in-process via {!Taq_harness.Task.run}
+    (no domains, no per-task collectors), so a caller's own obs
+    collector — the bench harness's, say — sees the counters directly;
+    with [jobs > 1] they fan out over a {!Taq_harness.Pool} and the
+    per-shard snapshots come back in {!result.obs_snaps} for the
+    caller to merge. *)
+
+type params = {
+  total_flows : int;  (** modeled background population across all shards *)
+  shards : int;
+  capacity_bps : float;  (** aggregate bottleneck capacity, split across shards *)
+  fg_flows : int;  (** packet-level foreground flows per shard *)
+  rtt : float;  (** base RTT: cohort lognormal centre and foreground RTT *)
+  duration : float;
+  buffer_rtts : float;
+  dt : float;
+  seed : int;  (** cohort seed (folded into every shard's task key) *)
+}
+
+val quick : params
+(** The CI/bench scale: the full 10⁶-flow population over a short
+    horizon. *)
+
+val default : params
+(** Longer horizon, more shards. *)
+
+type shard_result = {
+  shard : int;
+  summary : Taq_workload.Mega.summary;
+  fluid_arrived_bytes : float;
+  fluid_dropped_bytes : float;
+  fg_jain : float;
+  fg_loss : float;
+  utilization : float;
+}
+
+type result = {
+  params : params;
+  shard_results : shard_result list;  (** in shard order *)
+  cohort : Taq_workload.Mega.summary;  (** merged digest of all shards *)
+  obs_snaps : Taq_obs.Obs.snapshot list;
+      (** per-shard obs snapshots in shard order; empty when
+          [jobs <= 1] (counters went to the caller's collector) *)
+}
+
+val shard_key : params -> shard:int -> string
+(** The canonical task key of one shard — every output-affecting
+    parameter (population, sharding, capacity, rtt, duration, dt,
+    cohort seed) is folded in, and the per-shard simulation seed
+    derives from it. *)
+
+val run : ?jobs:int -> params -> result
+(** Execute all shards (default [jobs = 1]).
+    @raise Failure
+      if any shard fails, or if the generated cohort does not cover
+      exactly [total_flows] flows. *)
+
+val print : result -> unit
+(** Per-shard table and cohort totals through the {!Taq_util.Out}
+    sink. *)

@@ -20,8 +20,8 @@
                           w.p. P (later packets overtake it)
     ackdelay@A-B:delay=D  every return-path packet delayed D seconds
     restart@T             middlebox (TAQ) control-state loss at T
-    loss:p=P              stationary Bernoulli loss, whole run — the
-                          degenerate plan subsuming External_loss
+    loss:p=P              stationary Bernoulli loss, whole run (the
+                          former External_loss wrapper, now a plan)
     flood@T+D:rate=R[,kind=syn|data|pool]
                           adversarial small-packet flood at T for D
                           seconds, mean R brand-new flows/second

@@ -1,0 +1,28 @@
+module Disc = Taq_net.Disc
+module Prng = Taq_util.Prng
+
+type t = { mutable p : float; mutable dropped : int; prng : Prng.t }
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let wrap ~prng (inner : Disc.t) =
+  let t = { p = 0.0; dropped = 0; prng } in
+  let disc =
+    {
+      inner with
+      Disc.enqueue =
+        (fun pkt ->
+          (* No draw at p = 0: a dormant filter leaves the random
+             stream — and therefore the whole run — untouched. *)
+          if t.p > 0.0 && Prng.bernoulli t.prng ~p:t.p then begin
+            t.dropped <- t.dropped + 1;
+            [ pkt ]
+          end
+          else inner.Disc.enqueue pkt);
+    }
+  in
+  (t, disc)
+
+let set_p t p = t.p <- clamp 0.0 1.0 p
+
+let dropped t = t.dropped

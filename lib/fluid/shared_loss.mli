@@ -1,0 +1,38 @@
+(** Reverse loss coupling: the fluid aggregate's congestion, applied
+    to foreground packets.
+
+    Occupancy injection ({!Taq_net.Link.set_background_bps}) makes the
+    foreground {e slow} when the background is heavy, but a shared
+    FIFO at overflow also makes it {e lossy}: arrivals are dropped
+    indiscriminately, whichever class they belong to. This wrapper
+    interposes on the discipline's [enqueue] and drops each offered
+    packet with the current shared-overflow probability — set each
+    tick by {!Source} to the fraction of fluid arrivals the (virtual)
+    shared buffer refused.
+
+    It is installed only for indiscriminate disciplines (droptail,
+    RED, SFQ, DRR). A TAQ bottleneck gets no filter: shielding
+    timeout-vulnerable low-rate flows from exactly this aggregate
+    pressure is the discipline's defining mechanism, so its foreground
+    keeps only the losses TAQ itself chooses to impose.
+
+    Drops are recorded by the {!Taq_net.Link} like any discipline drop
+    (loss monitors and [link.dropped] see them); {!Source} subtracts
+    them back out of its disc-feedback measurement so the fluid does
+    not hear an echo of its own congestion. With [p = 0] — the initial
+    state, and permanently so when no fluid source ever sets it — no
+    PRNG draw is made and the inner discipline is called untouched. *)
+
+type t
+
+val wrap : prng:Taq_util.Prng.t -> Taq_net.Disc.t -> t * Taq_net.Disc.t
+(** [wrap ~prng disc] is the filter handle plus the wrapped
+    discipline to hand to the link. [prng] should be a dedicated split
+    of the environment's root generator. *)
+
+val set_p : t -> float -> unit
+(** Current shared-overflow drop probability (clamped to [[0, 1]]). *)
+
+val dropped : t -> int
+(** Packets this filter has dropped (already included in the link's
+    drop counters). *)

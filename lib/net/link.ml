@@ -4,6 +4,7 @@ module Obs = Taq_obs.Obs
 
 type stats = {
   offered : int;
+  bytes_offered : int;
   transmitted : int;
   dropped : int;
   bytes_transmitted : int;
@@ -17,6 +18,12 @@ type t = {
   disc : Disc.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
+  mutable background_bps : float;
+      (* Capacity claimed by an aggregate (fluid) background process:
+         packet transmissions proceed at the residual rate
+         [capacity_bps - background_bps]. 0 when no hybrid backend is
+         attached, in which case every transmission time is computed
+         exactly as before ([c -. 0.] = [c] bit for bit). *)
   mutable up : bool;
       (* Fault-injection hook: while [false] the transmitter starts no
          new transmissions (a packet already on the wire completes).
@@ -24,6 +31,7 @@ type t = {
          under a down link are the discipline's, preserving the
          conservation invariant. *)
   mutable offered : int;
+  mutable bytes_offered : int;
   mutable transmitted : int;
   mutable dropped : int;
   mutable bytes_transmitted : int;
@@ -53,8 +61,10 @@ let create ?check ?obs ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
     disc;
     deliver;
     busy = false;
+    background_bps = 0.0;
     up = true;
     offered = 0;
+    bytes_offered = 0;
     transmitted = 0;
     dropped = 0;
     bytes_transmitted = 0;
@@ -109,7 +119,17 @@ let on_enqueue t f = t.enqueue_listeners <- f :: t.enqueue_listeners
 
 let on_deliver t f = t.deliver_listeners <- f :: t.deliver_listeners
 
-let tx_time t (p : Packet.t) = float_of_int (p.size * 8) /. t.capacity_bps
+let tx_time t (p : Packet.t) =
+  float_of_int (p.size * 8) /. (t.capacity_bps -. t.background_bps)
+
+let set_background_bps t bps =
+  if bps < 0.0 || bps >= t.capacity_bps then
+    invalid_arg
+      (Printf.sprintf "Link.set_background_bps: %g outside [0, %g)" bps
+         t.capacity_bps);
+  t.background_bps <- bps
+
+let background_bps t = t.background_bps
 
 let rec start_transmission t =
   if (not t.busy) && t.up then begin
@@ -143,6 +163,7 @@ let rec start_transmission t =
 
 let send t p =
   t.offered <- t.offered + 1;
+  t.bytes_offered <- t.bytes_offered + p.Packet.size;
   let dropped = t.disc.Disc.enqueue p in
   let n_dropped = List.length dropped in
   t.dropped <- t.dropped + n_dropped;
@@ -189,6 +210,7 @@ let is_up t = t.up
 let stats t =
   {
     offered = t.offered;
+    bytes_offered = t.bytes_offered;
     transmitted = t.transmitted;
     dropped = t.dropped;
     bytes_transmitted = t.bytes_transmitted;

@@ -10,6 +10,7 @@ type t
 
 type stats = {
   offered : int;  (** packets offered to the queue *)
+  bytes_offered : int;  (** bytes offered to the queue *)
   transmitted : int;  (** packets fully transmitted *)
   dropped : int;  (** packets dropped by the discipline *)
   bytes_transmitted : int;
@@ -36,6 +37,18 @@ val create :
 
 val send : t -> Packet.t -> unit
 (** Offer a packet to the discipline (and kick the transmitter). *)
+
+val set_background_bps : t -> float -> unit
+(** Occupancy-injection hook for the hybrid fluid backend
+    ([Taq_fluid]): declare that an aggregate background process is
+    currently consuming this many bits/s of the transmitter, so
+    subsequent packet transmissions proceed at the residual rate
+    [capacity_bps - background]. A rate of 0 (the default — no fluid
+    source attached) leaves every transmission time bit-identical to a
+    link without the hook. Raises [Invalid_argument] unless the rate
+    is in [[0, capacity_bps)]. *)
+
+val background_bps : t -> float
 
 val set_up : t -> bool -> unit
 (** Fault-injection hook (see [Taq_fault]): while the link is down the

@@ -9,6 +9,7 @@
 type target = {
   name : string;
   seconds : float;
+  events_per_sec : float;  (* throughput; noisy like seconds *)
   counters : (string * int) list;  (* sorted by name *)
   gauges : (string * int) list;  (* sorted by name *)
   gc_minor_words : float;
@@ -23,9 +24,14 @@ type bench = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let make_target ~name ~seconds ~(snapshot : Obs.snapshot) =
+  let events =
+    Obs.counter_value snapshot (Obs.counter_name Obs.Events_executed)
+  in
   {
     name;
     seconds;
+    events_per_sec =
+      (if seconds > 0.0 then float_of_int events /. seconds else 0.0);
     counters = List.sort by_name snapshot.Obs.counters;
     gauges = List.sort by_name snapshot.Obs.gauges;
     gc_minor_words = snapshot.Obs.gc_minor_words;
@@ -41,6 +47,7 @@ let target_to_json t =
     [
       ("name", Json.Str t.name);
       ("seconds", Json.Num t.seconds);
+      ("events_per_sec", Json.Num t.events_per_sec);
       ("counters", assoc_to_json t.counters);
       ("gauges", assoc_to_json t.gauges);
       ("gc_minor_words", Json.Num t.gc_minor_words);
@@ -69,18 +76,19 @@ let target_of_json j =
   let ( let* ) = Option.bind in
   let* name = Option.bind (Json.member "name" j) Json.to_str in
   let* seconds = Option.bind (Json.member "seconds" j) Json.to_float in
-  let gc =
-    match Option.bind (Json.member "gc_minor_words" j) Json.to_float with
-    | Some g -> g
+  let float_or_0 key =
+    match Option.bind (Json.member key j) Json.to_float with
+    | Some v -> v
     | None -> 0.0
   in
   Some
     {
       name;
       seconds;
+      events_per_sec = float_or_0 "events_per_sec";
       counters = assoc_of_json (Json.member "counters" j);
       gauges = assoc_of_json (Json.member "gauges" j);
-      gc_minor_words = gc;
+      gc_minor_words = float_or_0 "gc_minor_words";
     }
 
 let of_json j =
@@ -165,17 +173,38 @@ let diff ?tolerance_pct ~baseline ~current () =
           in
           List.iter (fun d -> fail "%s: %s" b.name d) drift;
           (match tolerance_pct with
-          | Some pct when b.seconds > 0.0 ->
-              let limit = b.seconds *. (1.0 +. (pct /. 100.0)) in
-              if c.seconds > limit then
-                fail
-                  "%s: wall-clock regressed %.3fs -> %.3fs (limit %.3fs at \
-                   +%g%%)"
-                  b.name b.seconds c.seconds limit pct
-              else
-                note "%s: %.3fs vs baseline %.3fs (within +%g%%)" b.name
-                  c.seconds b.seconds pct
-          | Some _ | None -> ());
+          | Some pct ->
+              let slack = 1.0 +. (pct /. 100.0) in
+              if b.seconds > 0.0 then begin
+                let limit = b.seconds *. slack in
+                if c.seconds > limit then
+                  fail
+                    "%s: wall-clock regressed %.3fs -> %.3fs (limit %.3fs at \
+                     +%g%%)"
+                    b.name b.seconds c.seconds limit pct
+                else
+                  note "%s: %.3fs vs baseline %.3fs (within +%g%%)" b.name
+                    c.seconds b.seconds pct
+              end;
+              (* Throughput gates downward: fewer simulated events per
+                 wall-clock second is the regression. *)
+              if b.events_per_sec > 0.0 then begin
+                let floor_eps = b.events_per_sec /. slack in
+                if c.events_per_sec < floor_eps then
+                  fail
+                    "%s: events/sec regressed %.0f -> %.0f (floor %.0f at \
+                     -%g%%)"
+                    b.name b.events_per_sec c.events_per_sec floor_eps pct
+              end;
+              if b.gc_minor_words > 0.0 then begin
+                let limit = b.gc_minor_words *. slack in
+                if c.gc_minor_words > limit then
+                  fail
+                    "%s: gc minor words regressed %.3e -> %.3e (limit %.3e at \
+                     +%g%%)"
+                    b.name b.gc_minor_words c.gc_minor_words limit pct
+              end
+          | None -> ());
           if drift = [] then
             note "%s: %d counter(s), %d gauge(s) match" b.name
               (List.length b.counters)

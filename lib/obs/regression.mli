@@ -11,6 +11,10 @@
 type target = {
   name : string;
   seconds : float;
+  events_per_sec : float;
+      (** executed simulator events per wall-clock second — the
+          machine-speed-normalised throughput line ([Events_executed]
+          over [seconds]); noisy, gated only behind the tolerance *)
   counters : (string * int) list;
   gauges : (string * int) list;
   gc_minor_words : float;
@@ -34,10 +38,12 @@ val diff :
   (string list, string list) result
 (** [Ok notes] when every baseline target present in [current] matches
     it exactly on counters and gauges (missing keys count as 0) and,
-    when [tolerance_pct] is given, each target's seconds are within
-    [baseline * (1 + pct/100)]. [Error failures] otherwise. A scale
-    mismatch (quick vs full) is a failure; a baseline target that was
-    not run is only a note. *)
+    when [tolerance_pct] is given, the noisy measurements stay within
+    the slack: seconds and GC minor words at most
+    [baseline * (1 + pct/100)], events/sec at least
+    [baseline / (1 + pct/100)] (throughput regresses downward).
+    [Error failures] otherwise. A scale mismatch (quick vs full) is a
+    failure; a baseline target that was not run is only a note. *)
 
 val compare_files :
   ?tolerance_pct:float ->

@@ -268,6 +268,63 @@ let test_taq_restart_relearns () =
   let st = Taq_core.Taq_disc.stats t in
   Alcotest.(check int) "restart counted" 1 st.Taq_core.Taq_disc.restarts
 
+(* --- Injector: stationary loss ---------------------------------------------- *)
+
+(* The [loss:p=P] clause replaced the old External_loss wrapper; these
+   pin down the behaviours its tests guaranteed: empirical rate,
+   conservation (every packet either delivered or counted dropped) and
+   seed determinism of the drop sequence. *)
+
+let loss_run ~seed ~p ~n =
+  let sim = Taq_engine.Sim.create () in
+  let disc, _ =
+    Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:(n + 1) ()
+  in
+  let net = Taq_net.Dumbbell.create ~sim ~capacity_bps:1e9 ~disc () in
+  let delivered = ref 0 in
+  let pattern = Buffer.create n in
+  Taq_net.Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.01
+    ~deliver_fwd:(fun _ ->
+      incr delivered;
+      Buffer.add_char pattern '.')
+    ~deliver_rev:(fun _ -> ());
+  let inj =
+    Injector.install ~net
+      ~prng:(Taq_util.Prng.create ~seed)
+      [ Plan.Loss { p } ]
+  in
+  let alloc = Taq_net.Dumbbell.packet_alloc net in
+  for seq = 0 to n - 1 do
+    Taq_net.Dumbbell.send_fwd net
+      (Taq_net.Packet.make ~alloc ~flow:1 ~kind:Taq_net.Packet.Data ~seq
+         ~size:500 ~sent_at:0.0 ())
+  done;
+  Taq_engine.Sim.run ~until:1e6 sim;
+  (!delivered, (Injector.stats inj).corrupted, Buffer.contents pattern)
+
+let test_loss_plan_rate () =
+  let n = 50_000 in
+  let delivered, dropped, _ = loss_run ~seed:55 ~p:0.25 ~n in
+  let rate = float_of_int dropped /. float_of_int n in
+  Alcotest.(check bool) "close to 0.25" true (Float.abs (rate -. 0.25) < 0.01);
+  Alcotest.(check int) "conservation" n (delivered + dropped)
+
+let test_loss_plan_zero () =
+  let delivered, dropped, _ = loss_run ~seed:56 ~p:0.0 ~n:1000 in
+  Alcotest.(check int) "all pass at p=0" 1000 delivered;
+  Alcotest.(check int) "nothing counted dropped" 0 dropped
+
+let test_loss_plan_seed_deterministic () =
+  let pat seed =
+    let _, _, p = loss_run ~seed ~p:0.3 ~n:200 in
+    p
+  in
+  Alcotest.(check string)
+    "equal seeds, identical delivery sequence" (pat 77) (pat 77);
+  Alcotest.(check bool)
+    "distinct seeds, distinct sequences" true
+    (pat 77 <> pat 78)
+
 (* --- Fault_drill over the registry ------------------------------------------ *)
 
 let test_drill_registry_scenario name queue () =
@@ -472,6 +529,10 @@ let () =
           Alcotest.test_case "ack delay" `Quick test_injector_ack_delay;
           Alcotest.test_case "taq restart re-learns" `Quick
             test_taq_restart_relearns;
+          Alcotest.test_case "stationary loss rate" `Quick test_loss_plan_rate;
+          Alcotest.test_case "stationary loss p=0" `Quick test_loss_plan_zero;
+          Alcotest.test_case "stationary loss seeded" `Quick
+            test_loss_plan_seed_deterministic;
         ] );
       ( "drill",
         [

@@ -1,6 +1,6 @@
 (* Tests for taq_net: packets, the FIFO discipline helper, link
-   transmission timing and accounting, dumbbell delivery, loss
-   injection. *)
+   transmission timing and accounting, dumbbell delivery, overlay
+   loss concealment. *)
 
 open Taq_net
 module Sim = Taq_engine.Sim
@@ -189,53 +189,6 @@ let test_dumbbell_duplicate_registration_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "duplicate registration should raise"
 
-(* --- External_loss ------------------------------------------------------ *)
-
-let test_external_loss_rate () =
-  let prng = Taq_util.Prng.create ~seed:55 in
-  let el = External_loss.create ~prng ~p:0.25 in
-  let delivered = ref 0 in
-  let f = External_loss.wrap el (fun _ -> incr delivered) in
-  let n = 100_000 in
-  for _ = 1 to n do
-    f (mk_pkt ())
-  done;
-  let rate = float_of_int (External_loss.dropped el) /. float_of_int n in
-  Alcotest.(check bool) "close to 0.25" true (Float.abs (rate -. 0.25) < 0.01);
-  Alcotest.(check int) "conservation" n (!delivered + External_loss.dropped el)
-
-let test_external_loss_zero () =
-  let prng = Taq_util.Prng.create ~seed:56 in
-  let el = External_loss.create ~prng ~p:0.0 in
-  let delivered = ref 0 in
-  let f = External_loss.wrap el (fun _ -> incr delivered) in
-  for _ = 1 to 1000 do
-    f (mk_pkt ())
-  done;
-  Alcotest.(check int) "all pass at p=0" 1000 !delivered
-
-let test_external_loss_seed_deterministic () =
-  (* The legacy gate and its fault-plan replacement share the same
-     seeding contract: equal seeds produce the identical drop
-     sequence, different seeds (almost surely) do not. *)
-  let drop_pattern ~seed =
-    let prng = Taq_util.Prng.create ~seed in
-    let el = External_loss.create ~prng ~p:0.3 in
-    let pattern = Buffer.create 256 in
-    let f = External_loss.wrap el (fun _ -> Buffer.add_char pattern '.') in
-    for _ = 1 to 200 do
-      let before = External_loss.dropped el in
-      f (mk_pkt ());
-      if External_loss.dropped el > before then Buffer.add_char pattern 'x'
-    done;
-    Buffer.contents pattern
-  in
-  Alcotest.(check string)
-    "equal seeds, identical drop sequence" (drop_pattern ~seed:77)
-    (drop_pattern ~seed:77);
-  Alcotest.(check bool)
-    "distinct seeds, distinct sequences" true
-    (drop_pattern ~seed:77 <> drop_pattern ~seed:78)
 
 
 (* --- Overlay (controlled-loss virtual link) ------------------------------- *)
@@ -465,13 +418,6 @@ let () =
           Alcotest.test_case "evaporation" `Quick test_dumbbell_unknown_flow_evaporates;
           Alcotest.test_case "dup registration" `Quick
             test_dumbbell_duplicate_registration_rejected;
-        ] );
-      ( "external_loss",
-        [
-          Alcotest.test_case "rate" `Quick test_external_loss_rate;
-          Alcotest.test_case "zero" `Quick test_external_loss_zero;
-          Alcotest.test_case "seed-deterministic" `Quick
-            test_external_loss_seed_deterministic;
         ] );
       ( "overlay",
         [

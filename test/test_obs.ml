@@ -302,13 +302,15 @@ let test_jobs_identical () =
 
 (* --- the bench-regression gate ------------------------------------------- *)
 
-let target ?(seconds = 1.0) ?(counters = []) ?(gauges = []) name =
+let target ?(seconds = 1.0) ?(events_per_sec = 0.0) ?(gc_minor_words = 0.0)
+    ?(counters = []) ?(gauges = []) name =
   {
     Regression.name;
     seconds;
+    events_per_sec;
     counters = List.sort compare counters;
     gauges = List.sort compare gauges;
-    gc_minor_words = 0.0;
+    gc_minor_words;
   }
 
 let bench ?(scale = "quick") targets = { Regression.scale; jobs = 1; targets }
@@ -340,6 +342,33 @@ let test_gate_tolerance () =
     "within tolerance passes";
   check_diff ~tolerance_pct:10.0 ~baseline:b ~current:slow false
     "beyond tolerance fails"
+
+let test_gate_throughput_and_gc () =
+  (* events/sec gates downward (less throughput = regression), GC
+     minor words gate upward (more allocation = regression); both only
+     behind the tolerance, like seconds. *)
+  let b =
+    bench [ target "fig1" ~events_per_sec:1000.0 ~gc_minor_words:1e6 ]
+  in
+  let slower = bench [ target "fig1" ~events_per_sec:850.0 ~gc_minor_words:1e6 ] in
+  check_diff ~baseline:b ~current:slower true
+    "throughput free without tolerance";
+  check_diff ~tolerance_pct:25.0 ~baseline:b ~current:slower true
+    "throughput dip within tolerance passes";
+  check_diff ~tolerance_pct:10.0 ~baseline:b ~current:slower false
+    "throughput dip beyond tolerance fails";
+  let faster = bench [ target "fig1" ~events_per_sec:2000.0 ~gc_minor_words:1e6 ] in
+  check_diff ~tolerance_pct:10.0 ~baseline:b ~current:faster true
+    "faster than baseline passes";
+  let alloc = bench [ target "fig1" ~events_per_sec:1000.0 ~gc_minor_words:2e6 ] in
+  check_diff ~baseline:b ~current:alloc true "gc free without tolerance";
+  check_diff ~tolerance_pct:25.0 ~baseline:b ~current:alloc false
+    "alloc growth beyond tolerance fails";
+  let alloc_ok =
+    bench [ target "fig1" ~events_per_sec:1000.0 ~gc_minor_words:1.1e6 ]
+  in
+  check_diff ~tolerance_pct:25.0 ~baseline:b ~current:alloc_ok true
+    "alloc growth within tolerance passes"
 
 let test_gate_scale_mismatch () =
   let b = bench ~scale:"quick" [ target "fig1" ] in
@@ -433,6 +462,8 @@ let () =
         [
           Alcotest.test_case "exact counter match" `Quick test_gate_exact_match;
           Alcotest.test_case "wall-clock tolerance" `Quick test_gate_tolerance;
+          Alcotest.test_case "throughput + gc tolerance" `Quick
+            test_gate_throughput_and_gc;
           Alcotest.test_case "scale mismatch" `Quick test_gate_scale_mismatch;
           Alcotest.test_case "save/load round-trip" `Quick test_bench_save_load;
           Alcotest.test_case "compare_files" `Quick test_compare_files;

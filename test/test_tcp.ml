@@ -240,22 +240,14 @@ let scenario ?(capacity_bps = 1e6) ?(buffer_pkts = 100) ?(rtt = 0.1)
           ~on_complete:(fun t -> completions := t :: !completions)
           ())
   in
-  (* Optional Bernoulli loss on the forward path, applied between link
-     and receiver by wrapping each receiver delivery. We emulate by
-     re-registering flows with a lossy deliver_fwd. *)
+  (* Optional Bernoulli loss on the forward path: the stationary
+     [loss:p=P] fault plan, tapping delivery between link and
+     receivers for every flow at once. *)
   if external_loss_p > 0.0 then begin
     let prng = Taq_util.Prng.create ~seed in
-    let el = Taq_net.External_loss.create ~prng ~p:external_loss_p in
-    List.iter
-      (fun s ->
-        let flow = Tcp_session.flow_id s in
-        Dumbbell.unregister_flow net ~flow;
-        Dumbbell.register_flow net ~flow ~rtt_prop:rtt
-          ~deliver_fwd:
-            (Taq_net.External_loss.wrap el (fun p ->
-                 Tcp_receiver.on_packet (Tcp_session.receiver s) p))
-          ~deliver_rev:(fun p -> Tcp_sender.on_ack (Tcp_session.sender s) p))
-      sessions
+    ignore
+      (Taq_fault.Injector.install ~net ~prng
+         [ Taq_fault.Plan.Loss { p = external_loss_p } ])
   end;
   List.iter Tcp_session.start sessions;
   (sim, net, sessions, completions)
