@@ -42,7 +42,7 @@ let micro ~full =
            for i = 0 to 99 do
              Taq_engine.Event_heap.push h
                ~time:(float_of_int (i * 7919 mod 100))
-               ()
+               i
            done;
            for _ = 0 to 99 do
              ignore (Taq_engine.Event_heap.pop h)

@@ -1,7 +1,21 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Flat struct-of-arrays binary min-heap.
 
-type 'a t = {
-  mutable entries : 'a entry array;
+   The heap used to store boxed [{ time; seq; payload }] records; at
+   millions of events per run the entry boxes dominated minor-heap
+   traffic. The flat layout keeps three parallel arrays — an unboxed
+   [float array] of times, an [int array] of insertion sequence numbers
+   (the FIFO tie-break) and an [int array] of payloads — and sift-up /
+   sift-down move all three in lockstep, so steady-state push/pop
+   allocates nothing. Payloads are ints because the simulator stores
+   slot/generation event handles; see [Event_heap_ref] for the retained
+   boxed reference implementation the differential tests run against.
+   (A 4-ary variant was measured and lost to the binary sift on the
+   fig3 workload, so the arity stays 2.) *)
+
+type t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : int array;
   mutable size : int;
   mutable next_seq : int;
   mutable max_size : int;
@@ -10,81 +24,124 @@ type 'a t = {
          observability layer reads it for free *)
 }
 
-(* A dummy slot is never read: indices >= size are garbage. We grow by
-   doubling and never shrink (heaps in a simulation stay warm). *)
+(* Slots at indices >= size are garbage and never read. We grow by
+   doubling and never shrink (heaps in a simulation stay warm) —
+   [clear] therefore keeps the arrays and only resets the counters. *)
 
-let create () = { entries = [||]; size = 0; next_seq = 0; max_size = 0 }
+let create () =
+  {
+    times = [||];
+    seqs = [||];
+    payloads = [||];
+    size = 0;
+    next_seq = 0;
+    max_size = 0;
+  }
 
-let is_empty t = t.size = 0
+let[@inline] is_empty t = t.size = 0
 
-let size t = t.size
+let[@inline] size t = t.size
 
-let max_size t = t.max_size
+let[@inline] max_size t = t.max_size
+
+let capacity t = Array.length t.times
 
 let clear t =
-  t.entries <- [||];
   t.size <- 0;
   t.max_size <- 0
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow t entry =
-  let cap = Array.length t.entries in
-  if t.size = cap then begin
-    let ncap = Stdlib.max 16 (cap * 2) in
-    let bigger = Array.make ncap entry in
-    Array.blit t.entries 0 bigger 0 t.size;
-    t.entries <- bigger
-  end
+let grow t =
+  let cap = Array.length t.times in
+  let ncap = Stdlib.max 16 (cap * 2) in
+  let times = Array.make ncap 0.0 in
+  Array.blit t.times 0 times 0 t.size;
+  let seqs = Array.make ncap 0 in
+  Array.blit t.seqs 0 seqs 0 t.size;
+  let payloads = Array.make ncap 0 in
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
 
 let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  (* Sift up. *)
+  if t.size = Array.length t.times then grow t;
+  let times = t.times and seqs = t.seqs and payloads = t.payloads in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* Sift up with a hole: parents later than the new entry slide down,
+     then the entry lands once — each step moves all three arrays. *)
   let i = ref t.size in
   t.size <- t.size + 1;
   if t.size > t.max_size then t.max_size <- t.size;
-  t.entries.(!i) <- entry;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if earlier entry t.entries.(parent) then begin
-      t.entries.(!i) <- t.entries.(parent);
-      t.entries.(parent) <- entry;
+    let pt = times.(parent) in
+    if time < pt || (time = pt && seq < seqs.(parent)) then begin
+      times.(!i) <- pt;
+      seqs.(!i) <- seqs.(parent);
+      payloads.(!i) <- payloads.(parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  payloads.(!i) <- payload
+
+(* Move the last entry to the root and sift it down (hole-style, like
+   [push]). Callers have already consumed the root. *)
+let remove_top t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let times = t.times and seqs = t.seqs and payloads = t.payloads in
+    let time = times.(n) and seq = seqs.(n) and payload = payloads.(n) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n then begin
+            let lt = times.(l) and rt = times.(r) in
+            if rt < lt || (rt = lt && seqs.(r) < seqs.(l)) then r else l
+          end
+          else l
+        in
+        let ct = times.(c) in
+        if ct < time || (ct = time && seqs.(c) < seq) then begin
+          times.(!i) <- ct;
+          seqs.(!i) <- seqs.(c);
+          payloads.(!i) <- payloads.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    times.(!i) <- time;
+    seqs.(!i) <- seq;
+    payloads.(!i) <- payload
+  end
+
+let[@inline] top_time t =
+  if t.size = 0 then invalid_arg "Event_heap.top_time: empty";
+  t.times.(0)
+
+let pop_payload t =
+  if t.size = 0 then invalid_arg "Event_heap.pop_payload: empty";
+  let payload = t.payloads.(0) in
+  remove_top t;
+  payload
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.entries.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      let last = t.entries.(t.size) in
-      t.entries.(0) <- last;
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && earlier t.entries.(l) t.entries.(!smallest) then
-          smallest := l;
-        if r < t.size && earlier t.entries.(r) t.entries.(!smallest) then
-          smallest := r;
-        if !smallest <> !i then begin
-          let tmp = t.entries.(!i) in
-          t.entries.(!i) <- t.entries.(!smallest);
-          t.entries.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+    let time = t.times.(0) and payload = t.payloads.(0) in
+    remove_top t;
+    Some (time, payload)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.entries.(0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)

@@ -1,26 +1,46 @@
-(** Binary min-heap of timestamped events.
+(** Binary min-heap of timestamped events, flat struct-of-arrays layout.
 
     Ties on time are broken by insertion order (FIFO), which the
-    network simulation relies on for deterministic packet ordering. *)
+    network simulation relies on for deterministic packet ordering.
+    Payloads are ints (the simulator stores event-slot handles);
+    steady-state push/pop allocates nothing. {!Event_heap_ref} is the
+    retained boxed implementation used as a differential-testing
+    reference. *)
 
-type 'a t
+type t
 
-val create : unit -> 'a t
+val create : unit -> t
 
-val is_empty : 'a t -> bool
+val is_empty : t -> bool
 
-val size : 'a t -> int
+val size : t -> int
 
-val max_size : 'a t -> int
+val max_size : t -> int
 (** High-water mark of {!size} since creation (or the last {!clear}) —
     the observability layer exports it as a gauge. *)
 
-val push : 'a t -> time:float -> 'a -> unit
+val capacity : t -> int
+(** Allocated slots. Grows by doubling and never shrinks: {!clear}
+    keeps capacity so reused heaps stay warm. *)
 
-val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event. *)
+val push : t -> time:float -> int -> unit
 
-val peek_time : 'a t -> float option
-(** Earliest timestamp without removing. *)
+val top_time : t -> float
+(** Earliest timestamp without removing. Raises [Invalid_argument] when
+    empty — the allocation-free fast path for callers that checked
+    {!is_empty}. *)
 
-val clear : 'a t -> unit
+val pop_payload : t -> int
+(** Remove the earliest event and return its payload (allocation-free;
+    pair with {!top_time} read first). Raises [Invalid_argument] when
+    empty. *)
+
+val pop : t -> (float * int) option
+(** Remove and return the earliest event. Allocates the result; tests
+    and cold paths only. *)
+
+val peek_time : t -> float option
+(** Earliest timestamp without removing, as an option. *)
+
+val clear : t -> unit
+(** Drop all entries and reset {!max_size}, keeping capacity. *)

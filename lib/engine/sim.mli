@@ -3,13 +3,30 @@
     This is the substrate replacing ns2/ns3's scheduler. Events are
     thunks executed at their scheduled time; within a timestamp they
     run in scheduling order. The clock only moves when events run —
-    there is no time stepping. *)
+    there is no time stepping.
+
+    Scheduling is allocation-free in steady state: actions live in a
+    pooled slot table with a free list, the calendar is a flat
+    struct-of-arrays heap, and a {!handle} is an immediate int packing
+    the slot index with its generation. Firing or cancelling bumps the
+    slot's generation, so a handle held past its event's lifetime is
+    merely stale: {!cancel} and {!is_pending} on it are O(1) safe
+    no-ops even after the slot has been recycled for a newer event. *)
 
 type t
 
 type handle
 (** A scheduled event, usable for cancellation (e.g. TCP retransmission
-    timers that are re-armed on every ACK). *)
+    timers that are re-armed on every ACK). Handles are generation
+    stamped: once the event fires or is cancelled the handle goes
+    stale, and a stale handle can never affect the (recycled) slot's
+    next occupant. Handles are only meaningful on the simulator that
+    issued them. *)
+
+val none : handle
+(** A handle that is never pending; {!cancel} on it is a no-op. The
+    idle value for timer fields (replaces [handle option], which boxed
+    on every re-arm). *)
 
 val create : ?check:Taq_check.Check.t -> ?obs:Taq_obs.Obs.t -> unit -> t
 (** A simulator with the clock at 0. [check] (default
@@ -37,6 +54,18 @@ val schedule_after : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f].
     Negative delays are clamped to 0. *)
 
+val schedule_i : t -> at:float -> (int -> unit) -> int -> handle
+(** [schedule_i t ~at f arg] runs [f arg] when the clock reaches [at].
+    Semantically [schedule t ~at (fun () -> f arg)], but the argument
+    is stored in the event slot, so a caller that reuses one shared
+    closure schedules without allocating. [min_int] is reserved as the
+    argument (raises [Invalid_argument]). *)
+
+val schedule_after_i : t -> delay:float -> (int -> unit) -> int -> handle
+(** [schedule_after_i t ~delay f arg] is
+    [schedule_i t ~at:(now t +. delay) f arg]; negative delays are
+    clamped to 0. *)
+
 val every : t -> period:float -> until:float -> (unit -> unit) -> unit
 (** [every t ~period ~until f] runs [f] at [now + period],
     [now + 2·period], … for every tick at or before [until] — the
@@ -45,10 +74,14 @@ val every : t -> period:float -> until:float -> (unit -> unit) -> unit
     so they interleave deterministically with packet events. Raises
     [Invalid_argument] on a non-positive [period]. *)
 
-val cancel : handle -> unit
-(** Cancelling an already-run or already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** Cancelling an already-run, already-cancelled or {!none} handle is a
+    no-op: the generation check makes stale handles inert. *)
 
-val is_pending : handle -> bool
+val is_pending : t -> handle -> bool
+(** Whether the handle's event is still scheduled and uncancelled.
+    [false] for fired, cancelled, stale (slot recycled) and {!none}
+    handles — never a crash. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events in time order until the calendar is empty or the

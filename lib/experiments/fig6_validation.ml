@@ -104,7 +104,7 @@ let variant_name = function
 
 let run_bernoulli p_params ~variant ~p =
   let sim = Sim.create () in
-  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"clean" ~capacity_pkts:10_000 () in
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"clean" ~capacity_pkts:10_000 () in
   let net = Dumbbell.create ~sim ~capacity_bps:1e8 ~disc () in
   let tcp =
     { (validation_tcp ~rtt:p_params.rtt ~rcv_wnd:p_params.wmax) with

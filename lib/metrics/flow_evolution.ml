@@ -1,3 +1,4 @@
+module Itbl = Taq_util.Int_tbl
 type class_ = Maintained | Dropped | Arriving | Stalled
 
 let classify ~active_prev ~active_cur =
@@ -9,27 +10,36 @@ let classify ~active_prev ~active_cur =
 
 type life = { start : float; mutable finish : float (* infinity = live *) }
 
+(* Activity keys pack (window, flow) into one int — [note_activity]
+   runs once per delivered segment and a tuple key would allocate per
+   call. Flow ids must fit in [flow_bits]. *)
+let flow_bits = 22
+
+let key w flow = (w lsl flow_bits) lor flow
+
 type t = {
   window : float;
-  activity : (int * int, unit) Hashtbl.t;  (* (window, flow) active *)
-  lives : (int, life) Hashtbl.t;
+  activity : unit Itbl.t;  (* key window flow -> active *)
+  lives : life Itbl.t;
 }
 
 let create ~window =
   if window <= 0.0 then invalid_arg "Flow_evolution.create: window";
-  { window; activity = Hashtbl.create 1024; lives = Hashtbl.create 64 }
+  { window; activity = Itbl.create 1024; lives = Itbl.create 64 }
 
 let widx t time = int_of_float (time /. t.window)
 
 let note_start t ~flow ~time =
-  if not (Hashtbl.mem t.lives flow) then
-    Hashtbl.replace t.lives flow { start = time; finish = infinity }
+  if not (Itbl.mem t.lives flow) then
+    Itbl.replace t.lives flow { start = time; finish = infinity }
 
 let note_activity t ~flow ~time =
-  Hashtbl.replace t.activity (widx t time, flow) ()
+  if flow lsr flow_bits <> 0 then
+    invalid_arg "Flow_evolution.note_activity: flow id too large";
+  Itbl.replace t.activity (key (widx t time) flow) ()
 
 let note_finish t ~flow ~time =
-  match Hashtbl.find_opt t.lives flow with
+  match Itbl.find_opt t.lives flow with
   | Some l -> l.finish <- time
   | None -> ()
 
@@ -50,7 +60,7 @@ let series t ~until =
   and arriving = Array.make n 0
   and stalled = Array.make n 0
   and live = Array.make n 0 in
-  Hashtbl.iter
+  Itbl.iter
     (fun flow l ->
       let first_w = widx t l.start in
       let last_w =
@@ -58,8 +68,8 @@ let series t ~until =
       in
       for w = Stdlib.max 1 first_w to last_w do
         live.(w) <- live.(w) + 1;
-        let active_prev = Hashtbl.mem t.activity (w - 1, flow) in
-        let active_cur = Hashtbl.mem t.activity (w, flow) in
+        let active_prev = Itbl.mem t.activity (key (w - 1) flow) in
+        let active_cur = Itbl.mem t.activity (key w flow) in
         match classify ~active_prev ~active_cur with
         | Maintained -> maintained.(w) <- maintained.(w) + 1
         | Dropped -> dropped.(w) <- dropped.(w) + 1

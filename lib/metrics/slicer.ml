@@ -1,33 +1,42 @@
+module Itbl = Taq_util.Int_tbl
+(* Cell keys pack (slice, flow) into one int: a tuple key would
+   allocate on every lookup, and [record] runs once per delivered
+   segment. Flow ids must fit in [flow_bits] (checked at [record]). *)
+let flow_bits = 22
+
+let key s flow = (s lsl flow_bits) lor flow
+
 type t = {
   slice : float;
-  cells : (int * int, int) Hashtbl.t;  (* (slice, flow) -> bytes *)
-  totals : (int, int) Hashtbl.t;  (* flow -> bytes *)
+  cells : int Itbl.t;  (* key slice flow -> bytes *)
+  totals : int Itbl.t;  (* flow -> bytes *)
   mutable max_slice : int;
 }
 
 let create ~slice =
   if slice <= 0.0 then invalid_arg "Slicer.create: slice";
-  { slice; cells = Hashtbl.create 1024; totals = Hashtbl.create 64; max_slice = -1 }
+  { slice; cells = Itbl.create 1024; totals = Itbl.create 64; max_slice = -1 }
 
 let slice_of t time = int_of_float (time /. t.slice)
 
 let record t ~flow ~time ~bytes =
+  if flow lsr flow_bits <> 0 then invalid_arg "Slicer.record: flow id too large";
   let s = slice_of t time in
   if s > t.max_slice then t.max_slice <- s;
-  let key = (s, flow) in
-  let prev = Option.value ~default:0 (Hashtbl.find_opt t.cells key) in
-  Hashtbl.replace t.cells key (prev + bytes);
-  let tot = Option.value ~default:0 (Hashtbl.find_opt t.totals flow) in
-  Hashtbl.replace t.totals flow (tot + bytes)
+  let k = key s flow in
+  let prev = try Itbl.find t.cells k with Not_found -> 0 in
+  Itbl.replace t.cells k (prev + bytes);
+  let tot = try Itbl.find t.totals flow with Not_found -> 0 in
+  Itbl.replace t.totals flow (tot + bytes)
 
 let slice_length t = t.slice
 
 let slice_count t = t.max_slice + 1
 
 let bytes_in_slice t ~slice ~flow =
-  Option.value ~default:0 (Hashtbl.find_opt t.cells (slice, flow))
+  try Itbl.find t.cells (key slice flow) with Not_found -> 0
 
-let flow_total t ~flow = Option.value ~default:0 (Hashtbl.find_opt t.totals flow)
+let flow_total t ~flow = try Itbl.find t.totals flow with Not_found -> 0
 
 let slice_vector t ~flows ~slice =
   Array.map (fun f -> float_of_int (bytes_in_slice t ~slice ~flow:f)) flows

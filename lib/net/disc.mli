@@ -22,7 +22,7 @@ type t = {
   bytes : unit -> int;  (** bytes queued *)
 }
 
-val fifo_of_queue :
-  name:string -> capacity_pkts:int -> unit -> t * Packet.t Queue.t
+val fifo_of_queue : name:string -> capacity_pkts:int -> unit -> t
 (** A plain bounded FIFO (tail-drop); exposed for building disciplines
-    and tests. Returns the discipline and its backing queue. *)
+    and tests. Backed by a ring buffer so steady-state enqueue/dequeue
+    allocate only the option cell the interface requires. *)

@@ -35,7 +35,10 @@ val register_flow :
     propagation delay excluding the bottleneck's transmission and
     queueing. [deliver_fwd] receives packets that crossed the
     bottleneck (the receiver side); [deliver_rev] receives return-path
-    packets (the sender side). Raises [Invalid_argument] if the flow is
+    packets (the sender side). Packet records are pooled: a delivery
+    callback must not retain the packet past its own return — take a
+    {!Packet.copy} to hold one across simulated time (as the lossy
+    overlay underlay does). Raises [Invalid_argument] if the flow is
     already registered. *)
 
 val unregister_flow : t -> flow:int -> unit
@@ -67,9 +70,14 @@ val set_rev_interceptor : t -> interceptor option -> unit
 (** Same for the uncongested return path (ACK delay/loss bursts). *)
 
 val packet_alloc : t -> Packet.alloc
-(** The network's packet-uid allocator. Everything injecting packets
-    into this network (TCP endpoints, tests) draws uids from here, so
-    uids are unique per network and no process-global state exists. *)
+(** The network's packet-uid allocator and free list. Everything
+    injecting packets into this network (TCP endpoints, tests) draws
+    uids from here, so uids are unique per network and no
+    process-global state exists. The network recycles records once
+    consumed: drop victims after accounting, delivered packets after
+    the endpoint callback returns (on untapped paths — a
+    fault-injection tap may hold or duplicate packets, so tapped
+    deliveries are never released). *)
 
 val next_flow_id : t -> int
 (** Allocate the next flow id on this network (1, 2, …). Ids are

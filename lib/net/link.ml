@@ -11,12 +11,32 @@ type stats = {
   busy_time : float;
 }
 
+(* A placeholder for the "no packet" state of the transmitter and the
+   unused tail of the in-flight ring: never enqueued, never delivered,
+   never released (negative uid). *)
+let dummy_packet () =
+  {
+    Packet.uid = -2;
+    flow = -1;
+    pool = -1;
+    kind = Packet.Data;
+    seq = 0;
+    size = 0;
+    retx = false;
+    sacks = [];
+    sent_at = 0.0;
+  }
+
 type t = {
   sim : Sim.t;
   capacity_bps : float;
   prop_delay : float;
   disc : Disc.t;
   deliver : Packet.t -> unit;
+  release : (Packet.t -> unit) option;
+      (* Packet-pool hook installed by the owning network: called for
+         every drop victim once all listeners and accounting have seen
+         it. Absent for standalone links (no pooling). *)
   mutable busy : bool;
   mutable background_bps : float;
       (* Capacity claimed by an aggregate (fluid) background process:
@@ -30,12 +50,27 @@ type t = {
          Arrivals keep flowing into the discipline, so queue drops
          under a down link are the discipline's, preserving the
          conservation invariant. *)
+  (* The transmitter is serialized, so the packet on the wire and its
+     serialization time live in the link, not in a per-transmission
+     closure; [tx_dt] is a flat float cell because a mutable float
+     field here would box on every store. *)
+  mutable tx_pkt : Packet.t;
+  tx_dt : float array;
+  mutable tx_done : unit -> unit;  (* shared tx-complete action *)
+  mutable deliver_front : unit -> unit;  (* shared delivery action *)
+  (* Packets that completed transmission and are propagating. Delivery
+     events fire in FIFO order (completion times are strictly
+     increasing and prop_delay is constant), so a ring queue replaces
+     the per-packet delivery closures. *)
+  mutable ring : Packet.t array;
+  mutable ring_head : int;
+  mutable ring_len : int;
   mutable offered : int;
   mutable bytes_offered : int;
   mutable transmitted : int;
   mutable dropped : int;
   mutable bytes_transmitted : int;
-  mutable busy_time : float;
+  busy_time : float array;  (* flat cell: accumulated once per tx *)
   mutable drop_listeners : (Packet.t -> unit) list;
   mutable enqueue_listeners : (Packet.t -> unit) list;
   mutable deliver_listeners : (Packet.t -> unit) list;
@@ -49,37 +84,6 @@ type t = {
   mutable chk_bytes_pushout : int;
   mutable chk_tx_size : int;  (** size of the packet on the wire, if busy *)
 }
-
-let create ?check ?obs ~sim ~capacity_bps ~prop_delay ~disc ~deliver () =
-  if capacity_bps <= 0.0 then invalid_arg "Link.create: capacity";
-  let check = match check with Some c -> c | None -> Check.ambient () in
-  let obs = match obs with Some o -> o | None -> Sim.obs sim in
-  {
-    sim;
-    capacity_bps;
-    prop_delay;
-    disc;
-    deliver;
-    busy = false;
-    background_bps = 0.0;
-    up = true;
-    offered = 0;
-    bytes_offered = 0;
-    transmitted = 0;
-    dropped = 0;
-    bytes_transmitted = 0;
-    busy_time = 0.0;
-    drop_listeners = [];
-    enqueue_listeners = [];
-    deliver_listeners = [];
-    check;
-    obs;
-    chk_accepted = 0;
-    chk_bytes_accepted = 0;
-    chk_pushout = 0;
-    chk_bytes_pushout = 0;
-    chk_tx_size = 0;
-  }
 
 (* Packet conservation: every packet accepted into the queue is either
    fully transmitted, on the wire right now, evicted by a push-out
@@ -113,6 +117,15 @@ let verify_conservation t ~where =
         where t.chk_bytes_accepted t.bytes_transmitted in_tx_bytes
         t.chk_bytes_pushout qbytes)
 
+(* Top-level listener iteration: [List.iter (fun f -> f p) ...] would
+   allocate the closure on every call, and these run per packet. *)
+let rec notify_all fs (p : Packet.t) =
+  match fs with
+  | [] -> ()
+  | f :: rest ->
+      f p;
+      notify_all rest p
+
 let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
 
 let on_enqueue t f = t.enqueue_listeners <- f :: t.enqueue_listeners
@@ -131,35 +144,114 @@ let set_background_bps t bps =
 
 let background_bps t = t.background_bps
 
-let rec start_transmission t =
+(* Ring capacity is always a power of two (0 -> 16 -> 32 -> ...), so
+   index wrap is a mask rather than a division. *)
+let ring_push t p =
+  let cap = Array.length t.ring in
+  if t.ring_len = cap then begin
+    let ncap = Stdlib.max 16 (cap * 2) in
+    let bigger = Array.make ncap p in
+    for i = 0 to t.ring_len - 1 do
+      bigger.(i) <- t.ring.((t.ring_head + i) land (cap - 1))
+    done;
+    t.ring <- bigger;
+    t.ring_head <- 0
+  end;
+  t.ring.((t.ring_head + t.ring_len) land (Array.length t.ring - 1)) <- p;
+  t.ring_len <- t.ring_len + 1
+
+let ring_pop t dummy =
+  let p = t.ring.(t.ring_head) in
+  t.ring.(t.ring_head) <- dummy;
+  t.ring_head <- (t.ring_head + 1) land (Array.length t.ring - 1);
+  t.ring_len <- t.ring_len - 1;
+  p
+
+let start_transmission t =
   if (not t.busy) && t.up then begin
     match t.disc.Disc.dequeue () with
     | None -> ()
     | Some p ->
         t.busy <- true;
         if Check.on t.check Check.Net then t.chk_tx_size <- p.Packet.size;
-        let dt = tx_time t p in
-        ignore
-          (Sim.schedule_after t.sim ~delay:dt (fun () ->
-               t.busy <- false;
-               t.transmitted <- t.transmitted + 1;
-               t.bytes_transmitted <- t.bytes_transmitted + p.Packet.size;
-               t.busy_time <- t.busy_time +. dt;
-               if Obs.enabled t.obs then begin
-                 Obs.incr t.obs Obs.Link_transmitted;
-                 Obs.add t.obs Obs.Link_bytes_tx p.Packet.size
-               end;
-               if Obs.tracing t.obs then
-                 Obs.span t.obs ~name:"tx" ~cat:"link" ~flow:p.Packet.flow
-                   ~ts_s:(Sim.now t.sim -. dt) ~dur_s:dt ();
-               if Check.on t.check Check.Net then
-                 verify_conservation t ~where:"tx-complete";
-               ignore
-                 (Sim.schedule_after t.sim ~delay:t.prop_delay (fun () ->
-                      List.iter (fun f -> f p) t.deliver_listeners;
-                      t.deliver p));
-               start_transmission t))
+        t.tx_pkt <- p;
+        t.tx_dt.(0) <- tx_time t p;
+        ignore (Sim.schedule_after t.sim ~delay:t.tx_dt.(0) t.tx_done)
   end
+
+(* Same sequence of effects — and crucially the same sequence of
+   [Sim.schedule] calls, hence identical event seqs and counters — as
+   the per-transmission closures this replaces: complete the packet on
+   the wire, schedule its delivery, start the next transmission. *)
+let on_tx_done t dummy =
+  let p = t.tx_pkt and dt = t.tx_dt.(0) in
+  t.tx_pkt <- dummy;
+  t.busy <- false;
+  t.transmitted <- t.transmitted + 1;
+  t.bytes_transmitted <- t.bytes_transmitted + p.Packet.size;
+  t.busy_time.(0) <- t.busy_time.(0) +. dt;
+  if Obs.enabled t.obs then begin
+    Obs.incr t.obs Obs.Link_transmitted;
+    Obs.add t.obs Obs.Link_bytes_tx p.Packet.size
+  end;
+  if Obs.tracing t.obs then
+    Obs.span t.obs ~name:"tx" ~cat:"link" ~flow:p.Packet.flow
+      ~ts_s:(Sim.now t.sim -. dt) ~dur_s:dt ();
+  if Check.on t.check Check.Net then verify_conservation t ~where:"tx-complete";
+  ring_push t p;
+  ignore (Sim.schedule_after t.sim ~delay:t.prop_delay t.deliver_front);
+  start_transmission t
+
+let on_deliver_front t dummy =
+  let p = ring_pop t dummy in
+  notify_all t.deliver_listeners p;
+  t.deliver p
+
+let create ?check ?obs ?release ~sim ~capacity_bps ~prop_delay ~disc ~deliver
+    () =
+  if capacity_bps <= 0.0 then invalid_arg "Link.create: capacity";
+  let check = match check with Some c -> c | None -> Check.ambient () in
+  let obs = match obs with Some o -> o | None -> Sim.obs sim in
+  let dummy = dummy_packet () in
+  let t =
+    {
+      sim;
+      capacity_bps;
+      prop_delay;
+      disc;
+      deliver;
+      release;
+      busy = false;
+      background_bps = 0.0;
+      up = true;
+      tx_pkt = dummy;
+      tx_dt = [| 0.0 |];
+      tx_done = (fun () -> ());
+      deliver_front = (fun () -> ());
+      ring = [||];
+      ring_head = 0;
+      ring_len = 0;
+      offered = 0;
+      bytes_offered = 0;
+      transmitted = 0;
+      dropped = 0;
+      bytes_transmitted = 0;
+      busy_time = [| 0.0 |];
+      drop_listeners = [];
+      enqueue_listeners = [];
+      deliver_listeners = [];
+      check;
+      obs;
+      chk_accepted = 0;
+      chk_bytes_accepted = 0;
+      chk_pushout = 0;
+      chk_bytes_pushout = 0;
+      chk_tx_size = 0;
+    }
+  in
+  t.tx_done <- (fun () -> on_tx_done t dummy);
+  t.deliver_front <- (fun () -> on_deliver_front t dummy);
+  t
 
 let send t p =
   t.offered <- t.offered + 1;
@@ -177,9 +269,17 @@ let send t p =
         Obs.instant t.obs ~name:"drop" ~cat:"drop" ~flow:d.flow
           ~ts_s:(Sim.now t.sim) ())
       dropped;
-  List.iter (fun d -> List.iter (fun f -> f d) t.drop_listeners) dropped;
-  (* The offered packet was accepted iff it is not among the drops. *)
-  let accepted = not (List.exists (fun d -> d.Packet.uid = p.Packet.uid) dropped) in
+  (match dropped with
+  | [] -> ()
+  | dropped -> List.iter (fun d -> notify_all t.drop_listeners d) dropped);
+  (* The offered packet was accepted iff it is not among the drops.
+     Matching first keeps the common no-drop case closure-free. *)
+  let accepted =
+    match dropped with
+    | [] -> true
+    | dropped ->
+        not (List.exists (fun d -> d.Packet.uid = p.Packet.uid) dropped)
+  in
   if Check.on t.check Check.Net then begin
     if accepted then begin
       t.chk_accepted <- t.chk_accepted + 1;
@@ -193,9 +293,15 @@ let send t p =
           t.chk_pushout <- t.chk_pushout + 1;
           t.chk_bytes_pushout <- t.chk_bytes_pushout + d.size
         end)
-      dropped
+      dropped;
   end;
-  if accepted then List.iter (fun f -> f p) t.enqueue_listeners;
+  if accepted then notify_all t.enqueue_listeners p;
+  (* Drop victims are dead once every listener has seen them: recycle.
+     (This runs after [accepted] is computed — release invalidates the
+     uid the comparison reads.) *)
+  (match t.release with
+  | Some release -> List.iter release dropped
+  | None -> ());
   start_transmission t;
   if Check.on t.check Check.Net then verify_conservation t ~where:"send"
 
@@ -214,12 +320,12 @@ let stats t =
     transmitted = t.transmitted;
     dropped = t.dropped;
     bytes_transmitted = t.bytes_transmitted;
-    busy_time = t.busy_time;
+    busy_time = t.busy_time.(0);
   }
 
 let utilization t =
   let elapsed = Sim.now t.sim in
-  if elapsed <= 0.0 then 0.0 else t.busy_time /. elapsed
+  if elapsed <= 0.0 then 0.0 else t.busy_time.(0) /. elapsed
 
 let capacity_bps t = t.capacity_bps
 

@@ -20,6 +20,7 @@ type stats = {
 val create :
   ?check:Taq_check.Check.t ->
   ?obs:Taq_obs.Obs.t ->
+  ?release:(Packet.t -> unit) ->
   sim:Taq_engine.Sim.t ->
   capacity_bps:float ->
   prop_delay:float ->
@@ -28,7 +29,11 @@ val create :
   unit ->
   t
 (** [deliver] is called when a packet finishes transmission and
-    propagation. [check] (default [Taq_check.Check.ambient ()]) enables
+    propagation. [release] (default absent: no pooling) is the owning
+    network's packet-pool hook, called for every drop victim after all
+    drop listeners and accounting have observed it — the victim is
+    dead at that point and its record may be recycled. [check] (default
+    [Taq_check.Check.ambient ()]) enables
     the [Net] group: packet and byte conservation
     ([accepted = transmitted + on_wire + pushed_out + queued]) verified
     after every send and transmission completion. [obs] (default

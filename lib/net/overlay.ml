@@ -49,6 +49,9 @@ let budget_available t size =
   <= t.redundancy_budget *. float_of_int (Stdlib.max 1 t.carried_bytes)
 
 let send t (p : Packet.t) =
+  (* The overlay holds the packet across hop-delay events while the
+     originating network may recycle the record; keep a private copy. *)
+  let p = Packet.copy p in
   t.sent <- t.sent + 1;
   t.carried_bytes <- t.carried_bytes + p.size;
   let rec attempt n =

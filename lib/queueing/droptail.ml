@@ -1,5 +1,5 @@
 let create ~capacity_pkts =
-  let disc, _q = Taq_net.Disc.fifo_of_queue ~name:"droptail" ~capacity_pkts () in
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"droptail" ~capacity_pkts () in
   disc
 
 let capacity_for_rtt ~capacity_bps ~rtt ~pkt_bytes =

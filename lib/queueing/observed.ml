@@ -18,24 +18,27 @@ let wrap ~obs (inner : Disc.t) =
     let bytes_in = Obs.labeled_ref obs (label "bytes_enqueued") in
     let enqueue (p : Packet.t) =
       let drops = inner.Disc.enqueue p in
-      let accepted =
-        not (List.exists (fun (d : Packet.t) -> d.uid = p.uid) drops)
-      in
-      if accepted then begin
-        incr enq;
-        bytes_in := !bytes_in + p.size
-      end;
+      (* The no-drop case is the steady state: avoid building the
+         List.exists closure (it would allocate per enqueue). *)
       (match drops with
-      | [] -> ()
-      | _ -> drop := !drop + List.length drops);
+      | [] ->
+          incr enq;
+          bytes_in := !bytes_in + p.size
+      | drops ->
+          let accepted =
+            not (List.exists (fun (d : Packet.t) -> d.uid = p.uid) drops)
+          in
+          if accepted then begin
+            incr enq;
+            bytes_in := !bytes_in + p.size
+          end;
+          drop := !drop + List.length drops);
       drops
     in
     let dequeue () =
-      match inner.Disc.dequeue () with
-      | None -> None
-      | Some p ->
-          incr deq;
-          Some p
+      let r = inner.Disc.dequeue () in
+      (match r with None -> () | Some _ -> incr deq);
+      r
     in
     {
       Disc.name = inner.Disc.name;

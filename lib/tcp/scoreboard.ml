@@ -27,37 +27,51 @@ module Lost_heap = struct
       i := parent
     done
 
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.a.(0) in
-      h.size <- h.size - 1;
-      if h.size > 0 then begin
-        h.a.(0) <- h.a.(h.size);
-        let i = ref 0 in
-        let continue = ref true in
-        while !continue do
-          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-          let smallest = ref !i in
-          if l < h.size && h.a.(l) < h.a.(!smallest) then smallest := l;
-          if r < h.size && h.a.(r) < h.a.(!smallest) then smallest := r;
-          if !smallest <> !i then begin
-            let tmp = h.a.(!i) in
-            h.a.(!i) <- h.a.(!smallest);
-            h.a.(!smallest) <- tmp;
-            i := !smallest
-          end
-          else continue := false
-        done
-      end;
-      Some top
-    end
+  (* -1 = empty: sequence numbers are non-negative. *)
+  let peek h = if h.size = 0 then -1 else h.a.(0)
 
-  let peek h = if h.size = 0 then None else Some h.a.(0)
+  let drop_top h =
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.a.(0) <- h.a.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.a.(l) < h.a.(!smallest) then smallest := l;
+        if r < h.size && h.a.(r) < h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!i) in
+          h.a.(!i) <- h.a.(!smallest);
+          h.a.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end
 end
 
+(* The tracked segments always form the window [lo, hi) (cumulative
+   acks forget a prefix, new transmissions extend the top), so state
+   lives in ring-indexed flat arrays instead of a hashtable: a status
+   code per segment plus its last transmission time in a float array.
+   Steady-state transmit/ack/mark operations allocate nothing. *)
+let absent = 0
+
+let in_flight = 1
+
+let in_flight_retx = 2 (* in flight, retransmitted at least once *)
+
+let sacked_c = 3
+
+let lost_c = 4
+
 type t = {
-  segs : (int, status) Hashtbl.t;
+  mutable st : int array;  (* status codes, indexed by [seq land mask] *)
+  mutable sent_at : float array;  (* parallel: last transmission time *)
+  mutable lo : int;  (* lowest tracked seq (= hi when empty) *)
+  mutable hi : int;  (* 1 + highest tracked seq *)
   lost_candidates : Lost_heap.t;
   mutable pipe : int;
   mutable lost : int;
@@ -66,47 +80,104 @@ type t = {
 
 let create () =
   {
-    segs = Hashtbl.create 64;
+    st = Array.make 64 absent;
+    sent_at = Array.make 64 nan;
+    lo = 0;
+    hi = 0;
     lost_candidates = Lost_heap.create ();
     pipe = 0;
     lost = 0;
     sacked = 0;
   }
 
-let status t seq = Hashtbl.find_opt t.segs seq
+let idx t seq = seq land (Array.length t.st - 1)
+
+let grow t needed =
+  let cap = ref (Array.length t.st) in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  let st = Array.make !cap absent in
+  let sent_at = Array.make !cap nan in
+  let mask = !cap - 1 in
+  for seq = t.lo to t.hi - 1 do
+    st.(seq land mask) <- t.st.(idx t seq);
+    sent_at.(seq land mask) <- t.sent_at.(idx t seq)
+  done;
+  t.st <- st;
+  t.sent_at <- sent_at
+
+(* Make [seq] addressable. Ring slots are zeroed when their occupant is
+   forgotten and the window never exceeds capacity, so slots newly
+   brought into [lo, hi) are already [absent]. *)
+let ensure t seq =
+  if t.lo = t.hi then begin
+    t.lo <- seq;
+    t.hi <- seq + 1
+  end
+  else if seq >= t.hi then begin
+    if seq + 1 - t.lo > Array.length t.st then grow t (seq + 1 - t.lo);
+    t.hi <- seq + 1
+  end
+  else if seq < t.lo then begin
+    if t.hi - seq > Array.length t.st then grow t (t.hi - seq);
+    t.lo <- seq
+  end
+
+let code t seq = if seq < t.lo || seq >= t.hi then absent else t.st.(idx t seq)
+
+let status t seq =
+  match code t seq with
+  | 1 -> Some (In_flight { sent_at = t.sent_at.(idx t seq); ever_retx = false })
+  | 2 -> Some (In_flight { sent_at = t.sent_at.(idx t seq); ever_retx = true })
+  | 3 -> Some Sacked
+  | 4 -> Some Lost
+  | _ -> None
 
 let on_transmit t ~seq ~at ~retx =
-  let ever_retx =
-    retx
-    ||
-    match Hashtbl.find_opt t.segs seq with
-    | Some (In_flight { ever_retx; _ }) -> ever_retx
-    | Some Lost | Some Sacked | None -> retx
+  ensure t seq;
+  let i = idx t seq in
+  let c =
+    match t.st.(i) with
+    | 1 | 2 ->
+        (* spurious double transmit: pipe unchanged, history kept *)
+        if retx || t.st.(i) = in_flight_retx then in_flight_retx else in_flight
+    | 4 ->
+        t.lost <- t.lost - 1;
+        t.pipe <- t.pipe + 1;
+        if retx then in_flight_retx else in_flight
+    | 3 ->
+        (* resending a sacked segment would be a sender bug *)
+        assert false
+    | _ ->
+        t.pipe <- t.pipe + 1;
+        if retx then in_flight_retx else in_flight
   in
-  (match Hashtbl.find_opt t.segs seq with
-  | Some (In_flight _) -> () (* spurious double transmit: pipe unchanged *)
-  | Some Lost ->
-      t.lost <- t.lost - 1;
-      t.pipe <- t.pipe + 1
-  | Some Sacked ->
-      (* resending a sacked segment would be a sender bug *)
-      assert false
-  | None -> t.pipe <- t.pipe + 1);
-  Hashtbl.replace t.segs seq (In_flight { sent_at = at; ever_retx })
+  t.st.(i) <- c;
+  t.sent_at.(i) <- at
 
 let pipe t = t.pipe
 
-let tracked t = Hashtbl.length t.segs
+let tracked t = t.pipe + t.lost + t.sacked
 
 let forget t seq =
-  match Hashtbl.find_opt t.segs seq with
-  | None -> ()
-  | Some st ->
-      (match st with
-      | In_flight _ -> t.pipe <- t.pipe - 1
-      | Lost -> t.lost <- t.lost - 1
-      | Sacked -> t.sacked <- t.sacked - 1);
-      Hashtbl.remove t.segs seq
+  if seq >= t.lo && seq < t.hi then begin
+    let i = idx t seq in
+    (match t.st.(i) with
+    | 1 | 2 -> t.pipe <- t.pipe - 1
+    | 4 -> t.lost <- t.lost - 1
+    | 3 -> t.sacked <- t.sacked - 1
+    | _ -> ());
+    t.st.(i) <- absent;
+    t.sent_at.(i) <- nan;
+    (* advance the window past the forgotten prefix *)
+    while t.lo < t.hi && t.st.(idx t t.lo) = absent do
+      t.lo <- t.lo + 1
+    done;
+    if t.lo = t.hi then begin
+      t.lo <- t.hi
+    end
+  end
 
 let ack_range t ~from_ ~until =
   for seq = from_ to until - 1 do
@@ -114,49 +185,48 @@ let ack_range t ~from_ ~until =
   done
 
 let mark_sacked t seq =
-  match Hashtbl.find_opt t.segs seq with
-  | Some (In_flight _) ->
+  match code t seq with
+  | 1 | 2 ->
       t.pipe <- t.pipe - 1;
       t.sacked <- t.sacked + 1;
-      Hashtbl.replace t.segs seq Sacked
-  | Some Lost ->
+      t.st.(idx t seq) <- sacked_c
+  | 4 ->
       t.lost <- t.lost - 1;
       t.sacked <- t.sacked + 1;
-      Hashtbl.replace t.segs seq Sacked
-  | Some Sacked | None -> ()
+      t.st.(idx t seq) <- sacked_c
+  | _ -> ()
 
 let mark_lost t seq =
-  match Hashtbl.find_opt t.segs seq with
-  | Some (In_flight _) ->
+  match code t seq with
+  | 1 | 2 ->
       t.pipe <- t.pipe - 1;
       t.lost <- t.lost + 1;
-      Hashtbl.replace t.segs seq Lost;
+      t.st.(idx t seq) <- lost_c;
       Lost_heap.push t.lost_candidates seq
-  | Some Lost | Some Sacked | None -> ()
+  | _ -> ()
 
 let mark_all_lost t =
-  let in_flight = ref [] in
-  Hashtbl.iter
-    (fun seq st ->
-      match st with
-      | In_flight _ -> in_flight := seq :: !in_flight
-      | Lost | Sacked -> ())
-    t.segs;
-  List.iter (mark_lost t) !in_flight
+  for seq = t.lo to t.hi - 1 do
+    mark_lost t seq
+  done
 
-let rec next_lost t =
-  if t.lost = 0 then None
-  else
-    match Lost_heap.peek t.lost_candidates with
-    | None -> None
-    | Some seq -> (
-        match Hashtbl.find_opt t.segs seq with
-        | Some Lost -> Some seq
-        | Some (In_flight _) | Some Sacked | None ->
-            (* Stale candidate (retransmitted, sacked or acked since):
-               discard and keep looking. *)
-            ignore (Lost_heap.pop t.lost_candidates);
-            next_lost t)
+let rec next_lost_seq t =
+  if t.lost = 0 then -1
+  else begin
+    let seq = Lost_heap.peek t.lost_candidates in
+    if seq < 0 then -1
+    else if code t seq = lost_c then seq
+    else begin
+      (* Stale candidate (retransmitted, sacked or acked since):
+         discard and keep looking. *)
+      Lost_heap.drop_top t.lost_candidates;
+      next_lost_seq t
+    end
+  end
+
+let next_lost t =
+  let seq = next_lost_seq t in
+  if seq < 0 then None else Some seq
 
 let lost_count t = t.lost
 
@@ -164,21 +234,23 @@ let sacked_count t = t.sacked
 
 let sacked_above t seq0 =
   let n = ref 0 in
-  Hashtbl.iter
-    (fun seq st ->
-      match st with
-      | Sacked -> if seq > seq0 then incr n
-      | In_flight _ | Lost -> ())
-    t.segs;
+  for seq = Stdlib.max t.lo (seq0 + 1) to t.hi - 1 do
+    if t.st.(idx t seq) = sacked_c then incr n
+  done;
   !n
 
+let sent_time t seq =
+  match code t seq with 1 | 2 -> t.sent_at.(idx t seq) | _ -> nan
+
+let sent_ever_retx t seq = code t seq = in_flight_retx
+
 let sent_info t seq =
-  match Hashtbl.find_opt t.segs seq with
-  | Some (In_flight { sent_at; ever_retx }) -> Some (sent_at, ever_retx)
-  | Some Lost | Some Sacked | None -> None
+  match code t seq with
+  | 1 -> Some (t.sent_at.(idx t seq), false)
+  | 2 -> Some (t.sent_at.(idx t seq), true)
+  | _ -> None
 
 let iter_in_flight t f =
-  Hashtbl.iter
-    (fun seq st ->
-      match st with In_flight _ -> f seq | Lost | Sacked -> ())
-    t.segs
+  for seq = t.lo to t.hi - 1 do
+    match t.st.(idx t seq) with 1 | 2 -> f seq | _ -> ()
+  done

@@ -49,6 +49,10 @@ val mark_all_lost : t -> unit
 val next_lost : t -> int option
 (** Lowest segment marked [Lost] — the retransmission candidate. *)
 
+val next_lost_seq : t -> int
+(** Same as {!next_lost} but returns [-1] instead of [None]: the
+    non-allocating form for the sender's send loop. *)
+
 val lost_count : t -> int
 
 val sacked_count : t -> int
@@ -60,5 +64,13 @@ val sacked_above : t -> int -> int
 val sent_info : t -> int -> (float * bool) option
 (** [(sent_at, ever_retx)] for an in-flight segment — for Karn-valid
     RTT sampling on cumulative acks. *)
+
+val sent_time : t -> int -> float
+(** Last transmission time of an in-flight segment, [nan] when the
+    segment is not in flight. Non-allocating form of {!sent_info}. *)
+
+val sent_ever_retx : t -> int -> bool
+(** Whether an in-flight segment has ever been retransmitted; [false]
+    when the segment is not in flight. *)
 
 val iter_in_flight : t -> (int -> unit) -> unit

@@ -1,4 +1,5 @@
 module Packet = Taq_net.Packet
+module Itbl = Taq_util.Int_tbl
 
 type t = {
   alloc : Packet.alloc;
@@ -8,7 +9,7 @@ type t = {
   now : unit -> float;
   send : Packet.t -> unit;
   schedule : (delay:float -> (unit -> unit) -> unit) option;
-  ooo : (int, unit) Hashtbl.t;  (* received above cum (out of order) *)
+  ooo : unit Itbl.t;  (* received above cum (out of order) *)
   mutable cum : int;
   mutable unique : int;
   mutable dups : int;
@@ -27,7 +28,7 @@ let create ?alloc ~flow ?(pool = -1) ~config ~now ~send ?schedule () =
     now;
     send;
     schedule;
-    ooo = Hashtbl.create 16;
+    ooo = Itbl.create 16;
     cum = 0;
     unique = 0;
     dups = 0;
@@ -38,6 +39,15 @@ let create ?alloc ~flow ?(pool = -1) ~config ~now ~send ?schedule () =
   }
 
 let acks_sent t = t.acks_sent
+
+(* Top-level listener iteration: a [List.iter] closure would allocate
+   on every delivered segment. *)
+let rec notify_all fs (seq : int) =
+  match fs with
+  | [] -> ()
+  | f :: rest ->
+      f seq;
+      notify_all rest seq
 
 let on_segment t f = t.listeners <- f :: t.listeners
 
@@ -55,17 +65,17 @@ let duplicate_segments t = t.dups
 let max_run_walk = 256
 
 let sack_blocks t =
-  if Hashtbl.length t.ooo = 0 then []
+  if Itbl.length t.ooo = 0 then []
   else begin
     let run_of seq =
       let lo = ref seq and hi = ref seq in
       let steps = ref 0 in
-      while Hashtbl.mem t.ooo (!lo - 1) && !steps < max_run_walk do
+      while Itbl.mem t.ooo (!lo - 1) && !steps < max_run_walk do
         decr lo;
         incr steps
       done;
       steps := 0;
-      while Hashtbl.mem t.ooo (!hi + 1) && !steps < max_run_walk do
+      while Itbl.mem t.ooo (!hi + 1) && !steps < max_run_walk do
         incr hi;
         incr steps
       done;
@@ -76,7 +86,7 @@ let sack_blocks t =
     List.iter
       (fun seq ->
         if
-          Hashtbl.mem t.ooo seq
+          Itbl.mem t.ooo seq
           && (not (List.exists (fun b -> covered b seq) !blocks))
           && List.length !blocks < 3
         then blocks := run_of seq :: !blocks)
@@ -91,9 +101,9 @@ let send_ack_now t =
     | Tcp_config.Reno | Tcp_config.Newreno -> []
   in
   let pkt =
-    Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Ack
-      ~seq:t.cum ~size:t.config.Tcp_config.ack_bytes ~sacks
-      ~sent_at:(t.now ()) ()
+    Packet.make_exact ~alloc:t.alloc ~flow:t.flow ~pool:t.pool
+      ~kind:Packet.Ack ~seq:t.cum ~size:t.config.Tcp_config.ack_bytes
+      ~retx:false ~sacks ~sent_at:(t.now ())
   in
   t.ack_pending <- false;
   t.acks_sent <- t.acks_sent + 1;
@@ -120,39 +130,45 @@ let send_syn_ack t =
   in
   t.send pkt
 
+(* [recent] feeds only {!sack_blocks}; Reno/NewReno receivers never
+   read it, so skip the per-segment list rebuild for them (it is the
+   one list allocation on the in-order data path). *)
 let note_recent t seq =
-  let keep = 8 in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  t.recent <- take keep (seq :: List.filter (fun s -> s <> seq) t.recent)
+  match t.config.Tcp_config.variant with
+  | Tcp_config.Reno | Tcp_config.Newreno -> ()
+  | Tcp_config.Sack ->
+      let keep = 8 in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      t.recent <- take keep (seq :: List.filter (fun s -> s <> seq) t.recent)
 
 let on_packet t (p : Packet.t) =
   match p.kind with
   | Packet.Syn -> send_syn_ack t
   | Packet.Data ->
       let seq = p.seq in
-      if seq < t.cum || Hashtbl.mem t.ooo seq then begin
+      if seq < t.cum || Itbl.mem t.ooo seq then begin
         t.dups <- t.dups + 1;
         note_recent t seq;
         send_ack t
       end
       else begin
         t.unique <- t.unique + 1;
-        List.iter (fun f -> f seq) t.listeners;
+        notify_all t.listeners seq;
         note_recent t seq;
         if seq = t.cum then begin
           t.cum <- t.cum + 1;
-          while Hashtbl.mem t.ooo t.cum do
-            Hashtbl.remove t.ooo t.cum;
+          while Itbl.mem t.ooo t.cum do
+            Itbl.remove t.ooo t.cum;
             t.cum <- t.cum + 1
           done;
           send_ack ~in_order:true t
         end
         else begin
-          Hashtbl.replace t.ooo seq ();
+          Itbl.replace t.ooo seq ();
           send_ack t
         end
       end

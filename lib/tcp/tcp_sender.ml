@@ -14,6 +14,21 @@ type stats = {
 
 type state = Closed | Syn_sent | Established | Complete | Failed
 
+(* The sender's mutable floats live together in this all-float record:
+   OCaml stores them flat (unboxed), whereas a mutable float field in
+   the mixed record below would box on every store — and cwnd is
+   updated on every ack. [cubic_wmax]/[cubic_t0] are nan before any
+   loss. *)
+type window = {
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  (* CUBIC growth state: window before the last reduction and the time
+     of that reduction. *)
+  mutable cubic_wmax : float;
+  mutable cubic_t0 : float;
+  mutable syn_sent_at : float;
+}
+
 type t = {
   sim : Sim.t;
   config : C.t;
@@ -31,21 +46,19 @@ type t = {
   mutable state : state;
   mutable snd_una : int;
   mutable next_seq : int;
-  mutable cwnd : float;
-  mutable ssthresh : float;
+  w : window;
   mutable dupacks : int;
   mutable inflation : int;  (* dupack window inflation during recovery *)
   mutable in_recovery : bool;
   mutable recover : int;  (* highest seq sent when recovery began *)
   mutable backoff : int;
-  (* CUBIC growth state: window before the last reduction and the time
-     of that reduction (nan before any loss). *)
-  mutable cubic_wmax : float;
-  mutable cubic_t0 : float;
-  mutable rtx_timer : Sim.handle option;
-  mutable syn_timer : Sim.handle option;
+  (* Timer handles are generation-stamped ints ([Sim.none] when idle);
+     [rtx_fn] is the one retransmission-timeout closure, allocated at
+     [create] so arming the timer on every ack allocates nothing. *)
+  mutable rtx_timer : Sim.handle;
+  mutable syn_timer : Sim.handle;
+  mutable rtx_fn : unit -> unit;
   mutable syn_retries : int;
-  mutable syn_sent_at : float;
   (* counters *)
   mutable n_data_sent : int;
   mutable n_retx_sent : int;
@@ -59,60 +72,14 @@ type t = {
   check : Check.t;
 }
 
-let create ?check ~sim ~config ~alloc ~flow ?(pool = -1) ~total_segments
-    ?(close_on_drain = true) ~transmit ?(on_complete = fun _ -> ())
-    ?(on_fail = fun _ -> ()) () =
-  let check = match check with Some c -> c | None -> Sim.check sim in
-  {
-    sim;
-    config;
-    alloc;
-    flow;
-    pool;
-    total = total_segments;
-    close_on_drain;
-    close_requested = false;
-    transmit;
-    on_complete;
-    on_fail;
-    sb = Scoreboard.create ();
-    rto = Rto.create ~min_rto:config.C.min_rto ~max_rto:config.C.max_rto;
-    state = Closed;
-    snd_una = 0;
-    next_seq = 0;
-    cwnd = config.C.init_cwnd;
-    ssthresh = config.C.init_ssthresh;
-    dupacks = 0;
-    inflation = 0;
-    in_recovery = false;
-    recover = -1;
-    backoff = 1;
-    cubic_wmax = nan;
-    cubic_t0 = nan;
-    rtx_timer = None;
-    syn_timer = None;
-    syn_retries = 0;
-    syn_sent_at = 0.0;
-    n_data_sent = 0;
-    n_retx_sent = 0;
-    n_timeouts = 0;
-    n_fast_retransmits = 0;
-    n_syn_sent = 0;
-    max_backoff_seen = 1;
-    transmit_listeners = [];
-    timeout_listeners = [];
-    progress_listeners = [];
-    check;
-  }
-
 (* Window / scoreboard / RTO invariants, verified after every ack and
    every retransmission timeout when the [Tcp] group is enabled. *)
 let verify t ~where =
   let c = t.check in
-  Check.require c Check.Tcp (t.cwnd >= 1.0) (fun () ->
-      Printf.sprintf "flow %d %s: cwnd=%g < 1" t.flow where t.cwnd);
-  Check.require c Check.Tcp (t.ssthresh >= 2.0) (fun () ->
-      Printf.sprintf "flow %d %s: ssthresh=%g < 2" t.flow where t.ssthresh);
+  Check.require c Check.Tcp (t.w.cwnd >= 1.0) (fun () ->
+      Printf.sprintf "flow %d %s: cwnd=%g < 1" t.flow where t.w.cwnd);
+  Check.require c Check.Tcp (t.w.ssthresh >= 2.0) (fun () ->
+      Printf.sprintf "flow %d %s: ssthresh=%g < 2" t.flow where t.w.ssthresh);
   Check.require c Check.Tcp
     (0 <= t.snd_una && t.snd_una <= t.next_seq)
     (fun () ->
@@ -165,9 +132,9 @@ let stats t =
 
 let state t = t.state
 
-let cwnd t = t.cwnd
+let cwnd t = t.w.cwnd
 
-let ssthresh t = t.ssthresh
+let ssthresh t = t.w.ssthresh
 
 let snd_una t = t.snd_una
 
@@ -190,17 +157,17 @@ let on_timeout_event t f = t.timeout_listeners <- f :: t.timeout_listeners
 let on_progress t f = t.progress_listeners <- f :: t.progress_listeners
 
 let cancel_timer t =
-  Option.iter Sim.cancel t.rtx_timer;
-  t.rtx_timer <- None
+  Sim.cancel t.sim t.rtx_timer;
+  t.rtx_timer <- Sim.none
 
 let cancel_syn_timer t =
-  Option.iter Sim.cancel t.syn_timer;
-  t.syn_timer <- None
+  Sim.cancel t.sim t.syn_timer;
+  t.syn_timer <- Sim.none
 
 let current_rto t =
   Float.min t.config.C.max_rto (Rto.timeout t.rto *. float_of_int t.backoff)
 
-let effective_window t = int_of_float t.cwnd + t.inflation
+let effective_window t = int_of_float t.w.cwnd + t.inflation
 
 (* RFC 8312 constants. *)
 let cubic_c = 0.4
@@ -215,41 +182,51 @@ let note_window_reduction t =
   match t.config.C.growth with
   | C.Aimd -> ()
   | C.Cubic ->
-      t.cubic_wmax <- t.cwnd;
-      t.cubic_t0 <- Sim.now t.sim
+      t.w.cubic_wmax <- t.w.cwnd;
+      t.w.cubic_t0 <- Sim.now t.sim
 
 (* Congestion-avoidance growth applied once per new cumulative ack. *)
 let grow_congestion_avoidance t =
   match t.config.C.growth with
-  | C.Aimd -> t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+  | C.Aimd -> t.w.cwnd <- t.w.cwnd +. (1.0 /. t.w.cwnd)
   | C.Cubic ->
-      if Float.is_nan t.cubic_t0 then
+      if Float.is_nan t.w.cubic_t0 then
         (* No loss yet: same additive growth as AIMD. *)
-        t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+        t.w.cwnd <- t.w.cwnd +. (1.0 /. t.w.cwnd)
       else begin
-        let elapsed = Sim.now t.sim -. t.cubic_t0 in
+        let elapsed = Sim.now t.sim -. t.w.cubic_t0 in
         let k =
-          Float.cbrt (t.cubic_wmax *. (1.0 -. cubic_beta) /. cubic_c)
+          Float.cbrt (t.w.cubic_wmax *. (1.0 -. cubic_beta) /. cubic_c)
         in
         let target =
-          (cubic_c *. ((elapsed -. k) ** 3.0)) +. t.cubic_wmax
+          (cubic_c *. ((elapsed -. k) ** 3.0)) +. t.w.cubic_wmax
         in
         let increment =
-          if target > t.cwnd then
+          if target > t.w.cwnd then
             (* Approach the cubic target, at most one segment per ack
                (the RFC's growth-rate bound at our ack granularity). *)
-            Float.min 1.0 ((target -. t.cwnd) /. t.cwnd)
+            Float.min 1.0 ((target -. t.w.cwnd) /. t.w.cwnd)
           else
             (* Plateau region: minimal probing growth. *)
-            0.01 /. t.cwnd
+            0.01 /. t.w.cwnd
         in
-        t.cwnd <- t.cwnd +. increment
+        t.w.cwnd <- t.w.cwnd +. increment
       end
 
 (* --- transmission ----------------------------------------------------- *)
 
+(* Top-level listener iteration: [List.iter (fun f -> f x) ...] would
+   allocate the closure on every call, and these run per packet/ack. *)
+let rec notify_all : 'a. ('a -> unit) list -> 'a -> unit =
+ fun fs x ->
+  match fs with
+  | [] -> ()
+  | f :: rest ->
+      f x;
+      notify_all rest x
+
 let emit t pkt =
-  List.iter (fun f -> f pkt) t.transmit_listeners;
+  notify_all t.transmit_listeners pkt;
   t.transmit pkt
 
 let send_segment t ~seq ~retx =
@@ -258,22 +235,23 @@ let send_segment t ~seq ~retx =
   t.n_data_sent <- t.n_data_sent + 1;
   if retx then t.n_retx_sent <- t.n_retx_sent + 1;
   let pkt =
-    Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Data ~seq
-      ~size:(C.packet_bytes t.config) ~retx ~sent_at:now ()
+    Packet.make_exact ~alloc:t.alloc ~flow:t.flow ~pool:t.pool
+      ~kind:Packet.Data ~seq ~size:(C.packet_bytes t.config) ~retx ~sacks:[]
+      ~sent_at:now
   in
   emit t pkt
 
 let rec on_rtx_timeout t =
   if t.state = Established && t.snd_una < t.next_seq then begin
-    t.rtx_timer <- None;
+    t.rtx_timer <- Sim.none;
     t.n_timeouts <- t.n_timeouts + 1;
     let now = Sim.now t.sim in
-    List.iter (fun f -> f now) t.timeout_listeners;
+    notify_all t.timeout_listeners now;
     let flight = Scoreboard.pipe t.sb + Scoreboard.lost_count t.sb in
     note_window_reduction t;
-    t.ssthresh <- Float.max 2.0 (float_of_int flight *. decrease_factor t);
+    t.w.ssthresh <- Float.max 2.0 (float_of_int flight *. decrease_factor t);
     Scoreboard.mark_all_lost t.sb;
-    t.cwnd <- 1.0;
+    t.w.cwnd <- 1.0;
     t.inflation <- 0;
     t.dupacks <- 0;
     t.in_recovery <- false;
@@ -282,15 +260,12 @@ let rec on_rtx_timeout t =
     try_send t;
     if Check.on t.check Check.Tcp then verify t ~where:"rtx-timeout"
   end
-  else t.rtx_timer <- None
+  else t.rtx_timer <- Sim.none
 
 and arm_timer t =
   cancel_timer t;
   if t.state = Established && t.snd_una < t.next_seq then
-    t.rtx_timer <-
-      Some
-        (Sim.schedule_after t.sim ~delay:(current_rto t) (fun () ->
-             on_rtx_timeout t))
+    t.rtx_timer <- Sim.schedule_after t.sim ~delay:(current_rto t) t.rtx_fn
 
 and try_send t =
   if t.state = Established then begin
@@ -298,30 +273,83 @@ and try_send t =
     while !progress do
       progress := false;
       if Scoreboard.pipe t.sb < effective_window t then begin
-        match Scoreboard.next_lost t.sb with
-        | Some seq ->
-            send_segment t ~seq ~retx:true;
-            progress := true
-        | None ->
-            if
-              t.next_seq < t.total
-              && t.next_seq - t.snd_una < t.config.C.rcv_wnd
-            then begin
-              let seq = t.next_seq in
-              t.next_seq <- t.next_seq + 1;
-              send_segment t ~seq ~retx:false;
-              progress := true
-            end
+        let lost = Scoreboard.next_lost_seq t.sb in
+        if lost >= 0 then begin
+          send_segment t ~seq:lost ~retx:true;
+          progress := true
+        end
+        else if
+          t.next_seq < t.total && t.next_seq - t.snd_una < t.config.C.rcv_wnd
+        then begin
+          let seq = t.next_seq in
+          t.next_seq <- t.next_seq + 1;
+          send_segment t ~seq ~retx:false;
+          progress := true
+        end
       end
     done;
-    if t.rtx_timer = None then arm_timer t
+    if not (Sim.is_pending t.sim t.rtx_timer) then arm_timer t
   end
+
+let create ?check ~sim ~config ~alloc ~flow ?(pool = -1) ~total_segments
+    ?(close_on_drain = true) ~transmit ?(on_complete = fun _ -> ())
+    ?(on_fail = fun _ -> ()) () =
+  let check = match check with Some c -> c | None -> Sim.check sim in
+  let t =
+    {
+      sim;
+      config;
+      alloc;
+      flow;
+      pool;
+      total = total_segments;
+      close_on_drain;
+      close_requested = false;
+      transmit;
+      on_complete;
+      on_fail;
+      sb = Scoreboard.create ();
+      rto = Rto.create ~min_rto:config.C.min_rto ~max_rto:config.C.max_rto;
+      state = Closed;
+      snd_una = 0;
+      next_seq = 0;
+      w =
+        {
+          cwnd = config.C.init_cwnd;
+          ssthresh = config.C.init_ssthresh;
+          cubic_wmax = nan;
+          cubic_t0 = nan;
+          syn_sent_at = 0.0;
+        };
+      dupacks = 0;
+      inflation = 0;
+      in_recovery = false;
+      recover = -1;
+      backoff = 1;
+      rtx_timer = Sim.none;
+      syn_timer = Sim.none;
+      rtx_fn = (fun () -> ());
+      syn_retries = 0;
+      n_data_sent = 0;
+      n_retx_sent = 0;
+      n_timeouts = 0;
+      n_fast_retransmits = 0;
+      n_syn_sent = 0;
+      max_backoff_seen = 1;
+      transmit_listeners = [];
+      timeout_listeners = [];
+      progress_listeners = [];
+      check;
+    }
+  in
+  t.rtx_fn <- (fun () -> on_rtx_timeout t);
+  t
 
 (* --- connection establishment ----------------------------------------- *)
 
 let rec send_syn t =
   t.n_syn_sent <- t.n_syn_sent + 1;
-  t.syn_sent_at <- Sim.now t.sim;
+  t.w.syn_sent_at <- Sim.now t.sim;
   let pkt =
     Packet.make ~alloc:t.alloc ~flow:t.flow ~pool:t.pool ~kind:Packet.Syn
       ~seq:0 ~size:t.config.C.header_bytes ~sent_at:(Sim.now t.sim) ()
@@ -334,17 +362,16 @@ let rec send_syn t =
     else t.config.C.syn_timeout
   in
   t.syn_timer <-
-    Some
-      (Sim.schedule_after t.sim ~delay (fun () ->
-           t.syn_timer <- None;
-           if t.state = Syn_sent then begin
-             t.syn_retries <- t.syn_retries + 1;
-             if t.syn_retries > t.config.C.max_syn_retries then begin
-               t.state <- Failed;
-               t.on_fail (Sim.now t.sim)
-             end
-             else send_syn t
-           end))
+    Sim.schedule_after t.sim ~delay (fun () ->
+        t.syn_timer <- Sim.none;
+        if t.state = Syn_sent then begin
+          t.syn_retries <- t.syn_retries + 1;
+          if t.syn_retries > t.config.C.max_syn_retries then begin
+            t.state <- Failed;
+            t.on_fail (Sim.now t.sim)
+          end
+          else send_syn t
+        end)
 
 let complete t =
   if t.state <> Complete then begin
@@ -449,8 +476,8 @@ let enter_recovery t =
   t.n_fast_retransmits <- t.n_fast_retransmits + 1;
   let flight = Scoreboard.pipe t.sb + Scoreboard.lost_count t.sb in
   note_window_reduction t;
-  t.ssthresh <- Float.max 2.0 (float_of_int flight *. decrease_factor t);
-  t.cwnd <- t.ssthresh;
+  t.w.ssthresh <- Float.max 2.0 (float_of_int flight *. decrease_factor t);
+  t.w.cwnd <- t.w.ssthresh;
   (* Reno/NewReno emulate departures with window inflation; a SACK
      sender must not — the scoreboard already removes sacked segments
      from the pipe, and doing both compounds into runaway growth. *)
@@ -464,11 +491,12 @@ let handle_new_ack t cum =
   let newly = cum - t.snd_una in
   (* Karn: sample RTT only from a never-retransmitted segment; a valid
      sample also collapses the RTO backoff. *)
-  (match Scoreboard.sent_info t.sb (cum - 1) with
-  | Some (sent_at, false) ->
-      Rto.observe t.rto (Sim.now t.sim -. sent_at);
-      t.backoff <- 1
-  | Some (_, true) | None -> ());
+  let sent_at = Scoreboard.sent_time t.sb (cum - 1) in
+  if (not (Float.is_nan sent_at)) && not (Scoreboard.sent_ever_retx t.sb (cum - 1))
+  then begin
+    Rto.observe t.rto (Sim.now t.sim -. sent_at);
+    t.backoff <- 1
+  end;
   Scoreboard.ack_range t.sb ~from_:t.snd_una ~until:cum;
   t.snd_una <- cum;
   if t.in_recovery then begin
@@ -477,7 +505,7 @@ let handle_new_ack t cum =
       t.in_recovery <- false;
       t.inflation <- 0;
       t.dupacks <- 0;
-      t.cwnd <- t.ssthresh
+      t.w.cwnd <- t.w.ssthresh
     end
     else begin
       (* Partial ack (NewReno): the next unacked segment was lost too.
@@ -491,11 +519,11 @@ let handle_new_ack t cum =
   end
   else begin
     t.dupacks <- 0;
-    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+    if t.w.cwnd < t.w.ssthresh then t.w.cwnd <- t.w.cwnd +. 1.0
     else grow_congestion_avoidance t
   end;
   arm_timer t;
-  List.iter (fun f -> f t.snd_una) t.progress_listeners;
+  notify_all t.progress_listeners t.snd_una;
   if should_close t then complete t else try_send t
 
 let handle_dupack t =
@@ -523,7 +551,7 @@ let on_ack t (p : Packet.t) =
   | Syn_sent, Packet.Syn_ack ->
       cancel_syn_timer t;
       if t.syn_retries = 0 then begin
-        Rto.observe t.rto (Sim.now t.sim -. t.syn_sent_at);
+        Rto.observe t.rto (Sim.now t.sim -. t.w.syn_sent_at);
         t.backoff <- 1
       end;
       establish t

@@ -1,0 +1,14 @@
+(* Hashtbl specialised to int keys with an identity hash. The generic
+   [Hashtbl] funnels every operation through the polymorphic
+   [caml_hash] C primitive; for the int-keyed tables that sit on
+   per-packet paths (flow maps, metrics cells, out-of-order sets) the
+   key already is a well-distributed machine word, so hashing it again
+   only costs. [land max_int] clamps negative keys to a non-negative
+   hash, as [Hashtbl.Make] requires. *)
+include Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+
+  let hash x = x land max_int
+end)

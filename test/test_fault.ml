@@ -277,8 +277,7 @@ let test_taq_restart_relearns () =
 
 let loss_run ~seed ~p ~n =
   let sim = Taq_engine.Sim.create () in
-  let disc, _ =
-    Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:(n + 1) ()
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:(n + 1) ()
   in
   let net = Taq_net.Dumbbell.create ~sim ~capacity_bps:1e9 ~disc () in
   let delivered = ref 0 in

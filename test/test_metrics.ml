@@ -239,7 +239,7 @@ let test_occupancy_empty () =
 
 let test_loss_monitor_rates () =
   let sim = Sim.create () in
-  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:1e3 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
@@ -261,7 +261,7 @@ let test_loss_monitor_rates () =
 
 let test_loss_monitor_ignores_control () =
   let sim = Sim.create () in
-  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:0 () in
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:0 () in
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:1e3 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
@@ -282,7 +282,7 @@ module Packet_log = Taq_metrics.Packet_log
 
 let packet_log_fixture () =
   let sim = Sim.create () in
-  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:2 () in
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:2 () in
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
@@ -358,7 +358,7 @@ let test_packet_log_capacity_bound () =
   let sim, link, log0 = packet_log_fixture () in
   ignore (sim, link, log0);
   let sim = Sim.create () in
-  let disc, _ = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1000 () in
+  let disc = Taq_net.Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1000 () in
   let link =
     Taq_net.Link.create ~sim ~capacity_bps:1e9 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())

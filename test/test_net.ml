@@ -35,7 +35,7 @@ let test_packet_fields () =
 (* --- Disc.fifo_of_queue ------------------------------------------------ *)
 
 let test_fifo_capacity () =
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:2 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:2 () in
   let p1 = mk_pkt () and p2 = mk_pkt () and p3 = mk_pkt () in
   Alcotest.(check int) "accept 1" 0 (List.length (disc.Disc.enqueue p1));
   Alcotest.(check int) "accept 2" 0 (List.length (disc.Disc.enqueue p2));
@@ -45,7 +45,7 @@ let test_fifo_capacity () =
   Alcotest.(check int) "bytes" 1000 (disc.Disc.bytes ())
 
 let test_fifo_order () =
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
   let p1 = mk_pkt ~seq:1 () and p2 = mk_pkt ~seq:2 () in
   ignore (disc.Disc.enqueue p1);
   ignore (disc.Disc.enqueue p2);
@@ -59,7 +59,7 @@ let test_fifo_order () =
 let test_link_transmission_time () =
   (* 1000-byte packet at 8000 bps = 1 s of transmission + 0.5 s prop. *)
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
   let arrival = ref nan in
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.5 ~disc
@@ -74,7 +74,7 @@ let test_link_serializes () =
   (* Two packets back to back: second is delayed by the first's
      transmission time. *)
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
   let arrivals = ref [] in
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
@@ -90,7 +90,7 @@ let test_link_serializes () =
 
 let test_link_counts_drops () =
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1 () in
   let link =
     Link.create ~sim ~capacity_bps:1e6 ~prop_delay:0.0 ~disc ~deliver:(fun _ -> ()) ()
   in
@@ -113,7 +113,7 @@ let test_link_counts_drops () =
 
 let test_link_utilization () =
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
       ~deliver:(fun _ -> ())
@@ -129,7 +129,7 @@ let test_link_work_conserving () =
   (* A packet arriving while idle starts transmitting immediately even
      after a previous busy period ended. *)
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:10 () in
   let arrivals = ref [] in
   let link =
     Link.create ~sim ~capacity_bps:8000.0 ~prop_delay:0.0 ~disc
@@ -146,7 +146,7 @@ let test_link_work_conserving () =
 
 let test_dumbbell_roundtrip () =
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
   let net = Dumbbell.create ~sim ~capacity_bps:1e9 ~disc () in
   let fwd_time = ref nan and rev_time = ref nan in
   Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.2
@@ -162,7 +162,7 @@ let test_dumbbell_roundtrip () =
 
 let test_dumbbell_unknown_flow_evaporates () =
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
   let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
   Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.1
     ~deliver_fwd:(fun _ -> ())
@@ -177,7 +177,7 @@ let test_dumbbell_unknown_flow_evaporates () =
 
 let test_dumbbell_duplicate_registration_rejected () =
   let sim = Sim.create () in
-  let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
+  let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:50 () in
   let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
   let nop _ = () in
   Dumbbell.register_flow net ~flow:1 ~rtt_prop:0.1 ~deliver_fwd:nop
@@ -326,7 +326,7 @@ let prop_serialization_monotone_in_size =
     (fun (s1, s2, capacity_bps) ->
       let arrival size =
         let sim = Sim.create () in
-        let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:4 () in
+        let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:4 () in
         let at = ref nan in
         let link =
           Link.create ~sim ~capacity_bps ~prop_delay:0.01 ~disc
@@ -354,7 +354,7 @@ let prop_dumbbell_delivers_each_once =
     QCheck.(list_of_size (Gen.int_range 1 80) (int_range 0 3))
     (fun flows ->
       let sim = Sim.create () in
-      let disc, _ = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1000 () in
+      let disc = Disc.fifo_of_queue ~name:"t" ~capacity_pkts:1000 () in
       let net = Dumbbell.create ~sim ~capacity_bps:1e6 ~disc () in
       let delivered = Hashtbl.create 64 in
       for f = 0 to 3 do
@@ -382,6 +382,83 @@ let prop_dumbbell_delivers_each_once =
       (* Queue is big enough that nothing drops: all arrive, each once. *)
       Hashtbl.length delivered = !sent)
 
+(* Packet pooling: under arbitrary make/release interleavings no two
+   simultaneously-live packets share a uid, liveness flags track
+   release exactly, release is idempotent, and the free list holds
+   precisely released-minus-revived records. *)
+let prop_packet_pool_accounting =
+  QCheck.Test.make ~name:"packet pool: live uids unique, free list exact"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 400) (int_range 0 5))
+    (fun ops ->
+      let a = Packet.alloc () in
+      let live = ref [] in
+      let released = ref 0 and revived = ref 0 in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          (if op <= 2 || !live = [] then begin
+             let before = Packet.free_count a in
+             let p =
+               Packet.make ~alloc:a ~flow:op ~kind:Packet.Data ~seq:i ~size:100
+                 ~sent_at:0.0 ()
+             in
+             if before > 0 then begin
+               incr revived;
+               if Packet.free_count a <> before - 1 then ok := false
+             end;
+             live := p :: !live
+           end
+           else begin
+             let n = List.length !live in
+             let j = i mod n in
+             let p = List.nth !live j in
+             live := List.filteri (fun k _ -> k <> j) !live;
+             let before = Packet.free_count a in
+             Packet.release a p;
+             incr released;
+             if Packet.free_count a <> before + 1 then ok := false;
+             if Packet.is_live p then ok := false;
+             (* releasing a dead record is a no-op *)
+             Packet.release a p;
+             if Packet.free_count a <> before + 1 then ok := false
+           end);
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun p ->
+              if not (Packet.is_live p) then ok := false;
+              if Hashtbl.mem seen p.Packet.uid then ok := false;
+              Hashtbl.add seen p.Packet.uid ())
+            !live)
+        ops;
+      !ok && Packet.free_count a = !released - !revived)
+
+(* End-to-end recycling: congested TCP flows (with queue drops and
+   retransmissions) run to completion on a pooled network, and the
+   network's free list shows records actually being recycled. The
+   per-discipline golden scalars pinning that pooling changed no
+   simulation observable live in test_golden. *)
+let test_pool_recycles_under_tcp_drops () =
+  let sim = Sim.create () in
+  let disc = Disc.fifo_of_queue ~name:"bottleneck" ~capacity_pkts:8 () in
+  let net = Dumbbell.create ~sim ~capacity_bps:4e5 ~disc () in
+  let completions = ref 0 in
+  let sessions =
+    List.init 4 (fun _ ->
+        Taq_tcp.Tcp_session.create ~net
+          ~config:(Taq_tcp.Tcp_config.make ~use_syn:false ())
+          ~rtt_prop:0.05 ~total_segments:200
+          ~on_complete:(fun _ -> incr completions)
+          ())
+  in
+  List.iter Taq_tcp.Tcp_session.start sessions;
+  Sim.run sim;
+  Alcotest.(check int) "all flows complete" 4 !completions;
+  let st = Link.stats (Dumbbell.link net) in
+  Alcotest.(check bool) "drops occurred" true (st.Link.dropped > 0);
+  Alcotest.(check bool) "records recycled" true
+    (Packet.free_count (Dumbbell.packet_alloc net) > 0)
+
 let qcheck_props =
   List.map
     (QCheck_alcotest.to_alcotest ~rand:qcheck_rand)
@@ -389,6 +466,7 @@ let qcheck_props =
       prop_uid_uniqueness_two_nets;
       prop_serialization_monotone_in_size;
       prop_dumbbell_delivers_each_once;
+      prop_packet_pool_accounting;
     ]
 
 let () =
@@ -418,6 +496,11 @@ let () =
           Alcotest.test_case "evaporation" `Quick test_dumbbell_unknown_flow_evaporates;
           Alcotest.test_case "dup registration" `Quick
             test_dumbbell_duplicate_registration_rejected;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "recycles under tcp drops" `Quick
+            test_pool_recycles_under_tcp_drops;
         ] );
       ( "overlay",
         [
