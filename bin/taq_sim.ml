@@ -499,6 +499,17 @@ let sweep_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Recompute every point; do not read or write the cache.")
   in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume a killed or cancelled sweep: replay the write-ahead \
+             journal under --results-dir, restore journaled-complete points \
+             from the cache (payload digests verified), and re-execute only \
+             the remainder. The merged output is byte-identical to an \
+             uninterrupted run.")
+  in
   let timeout_s =
     Arg.(
       value
@@ -538,11 +549,16 @@ let sweep_cmd =
              --timeout-s (the hanging task is only bounded by the deadline).")
   in
   let run queues capacities fair_shares reps rtt duration buffer_rtts guard
-      backend bg_flows fluid_dt jobs results_dir no_cache timeout_s retries
-      chaos check obs faults =
+      backend bg_flows fluid_dt jobs results_dir no_cache resume timeout_s
+      retries chaos check obs faults =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else if chaos && timeout_s = None then
       `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
+    else if resume && no_cache then
+      `Error
+        (false,
+         "--resume needs the cache (restored points live there); drop \
+          --no-cache")
     else begin
       match setup_check check with
       | Error msg -> `Error (false, msg)
@@ -610,26 +626,78 @@ let sweep_cmd =
               capacities)
           queues
       in
+      Harness.Pool.install_signal_cancellation ~label:"sweep" ();
       let cache = Harness.Cache.create ~dir:results_dir () in
-      let cached key =
-        if no_cache then None
-        else Harness.Cache.find cache ~key:(Harness.Cache.key ~parts:[ key ])
+      let hash key = Harness.Cache.key ~parts:[ key ] in
+      let obs_hash key = Harness.Cache.key ~parts:[ key; "obs" ] in
+      (* Durability: a write-ahead journal under the results dir records
+         every point's start and (digest-stamped) finish. --resume
+         replays it and restores journaled-complete points — payload
+         verified against the journal's digest, obs snapshot (when
+         counters are on) re-read from its own cache entry, so the
+         merged report and counter table come out byte-identical to an
+         uninterrupted run. *)
+      let journal_path = Filename.concat results_dir "sweep.journal" in
+      let restored =
+        let tbl = Hashtbl.create 64 in
+        if resume then begin
+          let finished =
+            Harness.Journal.finished (Harness.Journal.replay ~path:journal_path)
+          in
+          List.iter
+            (fun (key, _, _, _, _) ->
+              match Hashtbl.find_opt finished key with
+              | None -> ()
+              | Some digest -> (
+                  match Harness.Cache.find cache ~key:(hash key) with
+                  | Some output
+                    when Digest.to_hex (Digest.string output) = digest -> (
+                      if not obs_enabled then
+                        Hashtbl.replace tbl key (output, Obs.empty_snapshot)
+                      else
+                        match Harness.Cache.find cache ~key:(obs_hash key) with
+                        | Some s -> (
+                            match Obs.snapshot_of_string s with
+                            | Ok snap -> Hashtbl.replace tbl key (output, snap)
+                            | Error _ -> ())
+                        | None -> ())
+                  | Some _ | None -> ()))
+            points
+        end;
+        tbl
       in
-      (* Split into cache hits (served from disk) and tasks to compute. *)
+      let journal =
+        if no_cache then None
+        else
+          Some
+            (Harness.Journal.open_append ~path:journal_path
+               ~fresh:(not resume) ())
+      in
+      let cached key =
+        if no_cache then None else Harness.Cache.find cache ~key:(hash key)
+      in
+      (* Split into restored points, cache hits (served from disk) and
+         tasks to compute. *)
       let jobs_list =
         List.filter_map
           (fun (key, queue, capacity, fair_share, rep) ->
-            match cached key with
-            | Some _ -> None
-            | None ->
-                Some
-                  (Harness.Task.make ~key (fun ~seed ->
-                       Harness.Capture.text
-                         (sweep_point ~queue ~capacity ~fair_share ~rtt
-                            ~duration ~buffer_rtts ~guard ~backend:backend_spec
-                            ~rep ~seed))))
+            if Hashtbl.mem restored key then None
+            else
+              match cached key with
+              | Some _ -> None
+              | None ->
+                  Some
+                    (Harness.Task.make ~key (fun ~seed ->
+                         Harness.Capture.text
+                           (sweep_point ~queue ~capacity ~fair_share ~rtt
+                              ~duration ~buffer_rtts ~guard
+                              ~backend:backend_spec ~rep ~seed))))
           points
       in
+      let point_set = Hashtbl.create 64 in
+      List.iter
+        (fun (key, _, _, _, _) -> Hashtbl.replace point_set key ())
+        points;
       (* Deliberately unhealthy tasks: exercise the pool's quarantine
          path in-situ (CI runs this). They are excluded from the exit
          status below. *)
@@ -646,14 +714,39 @@ let sweep_cmd =
                 "unreachable");
           ]
       in
+      (* Stores and journal records happen as each point finishes (not
+         after the pool drains): a SIGKILL one task later loses nothing
+         already completed. The payload is persisted before the Finish
+         record, so the journal never testifies to an absent entry. *)
+      let on_start key =
+        match journal with
+        | Some j when Hashtbl.mem point_set key ->
+            Harness.Journal.append j (Harness.Journal.Start key)
+        | Some _ | None -> ()
+      in
+      let on_done ~completed ~total (r : string Harness.Pool.result) =
+        Printf.eprintf "[%d/%d] %s (%.1f s, %s)\n%!" completed total
+          r.Harness.Pool.key r.Harness.Pool.elapsed_s (Harness.Pool.status r);
+        match r.Harness.Pool.value with
+        | Ok output when (not no_cache) && Hashtbl.mem point_set r.Harness.Pool.key ->
+            let key = r.Harness.Pool.key in
+            Harness.Cache.store cache ~key:(hash key) output;
+            if obs_enabled then
+              Harness.Cache.store cache ~key:(obs_hash key)
+                (Obs.snapshot_to_string r.Harness.Pool.obs);
+            (match journal with
+            | Some j ->
+                Harness.Journal.append j
+                  (Harness.Journal.Finish
+                     { key; digest = Digest.to_hex (Digest.string output) })
+            | None -> ())
+        | _ -> ()
+      in
       let computed =
-        Harness.Pool.run ~jobs ?timeout_s ~retries
-          ~on_done:(fun ~completed ~total r ->
-            Printf.eprintf "[%d/%d] %s (%.1f s, %s)\n%!" completed total
-              r.Harness.Pool.key r.Harness.Pool.elapsed_s
-              (Harness.Pool.status r))
+        Harness.Pool.run ~jobs ?timeout_s ~retries ~on_start ~on_done
           (jobs_list @ chaos_tasks)
       in
+      (match journal with Some j -> Harness.Journal.close j | None -> ());
       let by_key = Hashtbl.create 64 in
       List.iter
         (fun (r : string Harness.Pool.result) ->
@@ -663,43 +756,51 @@ let sweep_cmd =
         Taq_util.Table.create ~columns:[ "task"; "seconds"; "source" ]
       in
       let hits = ref 0 and misses = ref 0 and failures = ref 0 in
+      let n_restored = ref 0 and n_cancelled = ref 0 in
       List.iter
         (fun (key, _, _, _, _) ->
-          let hash = Harness.Cache.key ~parts:[ key ] in
-          match Hashtbl.find_opt by_key key with
-          | Some r -> (
-              match r.Harness.Pool.value with
-              | Ok output ->
-                  incr misses;
-                  if not no_cache then
-                    Harness.Cache.store cache ~key:hash output;
-                  print_string output;
-                  Taq_util.Table.add_row summary
-                    [
-                      key;
-                      Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
-                      "computed";
-                    ]
-              | Error msg ->
-                  incr failures;
-                  Printf.printf "%s FAILED: %s\n" key msg;
-                  Taq_util.Table.add_row summary
-                    [
-                      key;
-                      Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
-                      Harness.Pool.status r;
-                    ])
+          match Hashtbl.find_opt restored key with
+          | Some (output, _) ->
+              incr n_restored;
+              print_string output;
+              Taq_util.Table.add_row summary [ key; "-"; "journal" ]
           | None -> (
-              (* Not computed this run: serve from the cache. A hit
-                 that went stale between the probe and here (e.g. a
-                 corrupted entry evicted by a concurrent reader) is a
-                 harness bug only if it was never computed at all. *)
-              match Harness.Cache.find cache ~key:hash with
-              | Some output ->
-                  incr hits;
-                  print_string output;
-                  Taq_util.Table.add_row summary [ key; "-"; "cache hit" ]
-              | None -> assert false))
+              match Hashtbl.find_opt by_key key with
+              | Some r when Harness.Pool.cancelled r ->
+                  incr n_cancelled;
+                  Taq_util.Table.add_row summary [ key; "-"; "cancelled" ]
+              | Some r -> (
+                  match r.Harness.Pool.value with
+                  | Ok output ->
+                      (* Already stored and journaled by on_done. *)
+                      incr misses;
+                      print_string output;
+                      Taq_util.Table.add_row summary
+                        [
+                          key;
+                          Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
+                          "computed";
+                        ]
+                  | Error msg ->
+                      incr failures;
+                      Printf.printf "%s FAILED: %s\n" key msg;
+                      Taq_util.Table.add_row summary
+                        [
+                          key;
+                          Printf.sprintf "%.2f" r.Harness.Pool.elapsed_s;
+                          Harness.Pool.status r;
+                        ])
+              | None -> (
+                  (* Not computed this run: serve from the cache. A hit
+                     that went stale between the probe and here (e.g. a
+                     corrupted entry evicted by a concurrent reader) is a
+                     harness bug only if it was never computed at all. *)
+                  match Harness.Cache.find cache ~key:(hash key) with
+                  | Some output ->
+                      incr hits;
+                      print_string output;
+                      Taq_util.Table.add_row summary [ key; "-"; "cache hit" ]
+                  | None -> assert false)))
         points;
       (* Chaos tasks are reported but never gate the exit status. *)
       List.iter
@@ -716,24 +817,39 @@ let sweep_cmd =
       Printf.printf "\n-- sweep summary (%d points, jobs=%d) --\n\n"
         (List.length points) jobs;
       Taq_util.Table.print ~oc:stdout summary;
-      Printf.printf "\ncache: %d hits, %d misses%s (dir: %s)\n" !hits !misses
+      Printf.printf "\ncache: %d hits, %d misses%s%s (dir: %s)\n" !hits !misses
+        (if resume then Printf.sprintf ", %d restored" !n_restored else "")
         (if no_cache then " [cache disabled]" else "")
         results_dir;
       if obs_enabled then begin
         (* Per-task snapshots (collected by the pool around each
-           attempt) merged in input order, plus the root collector
-           (instances created outside any task, e.g. the cache).
-           Integer sums commute, so --jobs 4 prints exactly what
-           --jobs 1 prints. *)
+           attempt, or restored from the journal's obs entries) merged
+           in input order, plus the root collector (instances created
+           outside any task, e.g. the cache). Integer sums commute, so
+           --jobs 4 prints exactly what --jobs 1 prints — and a resumed
+           run prints exactly what an uninterrupted one would, modulo
+           the root collector's own journal./cache./pool. infra
+           counters, which reflect real process history. *)
         let task_snaps =
           List.filter_map
             (fun (key, _, _, _, _) ->
-              Option.map
-                (fun (r : string Harness.Pool.result) -> r.Harness.Pool.obs)
-                (Hashtbl.find_opt by_key key))
+              match Hashtbl.find_opt restored key with
+              | Some (_, snap) -> Some snap
+              | None ->
+                  Option.map
+                    (fun (r : string Harness.Pool.result) ->
+                      r.Harness.Pool.obs)
+                    (Hashtbl.find_opt by_key key))
             points
         in
         finish_obs (Obs.merge_all (Obs.root_snapshot () :: task_snaps))
+      end;
+      if !n_cancelled > 0 then begin
+        Printf.printf
+          "\nsweep cancelled: %d point(s) not executed%s\n" !n_cancelled
+          (if no_cache then ""
+           else " — rerun with --resume to finish from the journal");
+        Stdlib.exit Harness.Pool.cancelled_exit_code
       end;
       if !failures > 0 then
         `Error (false, Printf.sprintf "%d sweep point(s) failed" !failures)
@@ -751,8 +867,8 @@ let sweep_cmd =
       ret
         (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
        $ buffer_rtts $ guard $ backend_arg $ bg_flows_arg $ fluid_dt_arg $ jobs
-       $ results_dir $ no_cache $ timeout_s $ retries $ chaos $ check_arg
-       $ obs_arg $ faults_arg))
+       $ results_dir $ no_cache $ resume $ timeout_s $ retries $ chaos
+       $ check_arg $ obs_arg $ faults_arg))
 
 (* --- faults --------------------------------------------------------------- *)
 
@@ -852,6 +968,8 @@ let faults_cmd =
                         queues)
                     scenarios
                 in
+                Harness.Pool.install_signal_cancellation ~label:"fault drills"
+                  ();
                 let results =
                   Harness.Pool.run ~jobs
                     ~on_done:(fun ~completed ~total r ->
@@ -859,8 +977,15 @@ let faults_cmd =
                         r.Harness.Pool.key r.Harness.Pool.elapsed_s)
                     tasks
                 in
+                (* A SIGINT/SIGTERM mid-registry prints the drills that
+                   did finish and exits with the cancellation code. *)
+                let finished, cancelled =
+                  List.partition
+                    (fun r -> not (Harness.Pool.cancelled r))
+                    results
+                in
                 let outcomes =
-                  List.map Harness.Pool.value_exn results
+                  List.map Harness.Pool.value_exn finished
                 in
                 Fault_drill.print outcomes;
                 if obs_enabled then
@@ -870,7 +995,13 @@ let faults_cmd =
                        :: List.map
                             (fun (r : _ Harness.Pool.result) ->
                               r.Harness.Pool.obs)
-                            results));
+                            finished));
+                if cancelled <> [] then begin
+                  Printf.printf
+                    "\nfault drills cancelled: %d drill(s) not executed\n"
+                    (List.length cancelled);
+                  Stdlib.exit Harness.Pool.cancelled_exit_code
+                end;
                 let bad =
                   List.filter (fun o -> not o.Fault_drill.ok) outcomes
                 in
@@ -1132,8 +1263,35 @@ let mega_cmd =
             "Worker domains. Shard results merge in shard order, so the \
              counters are byte-identical at any job count.")
   in
-  let run flows shards capacity fg_flows rtt duration fluid_dt seed jobs check
-      obs =
+  let results_dir =
+    Arg.(
+      value
+      & opt string Harness.Cache.default_dir
+      & info [ "results-dir" ] ~docv:"DIR"
+          ~doc:"Directory for shard checkpoints and the mega journal.")
+  in
+  let do_checkpoint =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:
+            "Persist every completed shard (journal + cache under \
+             --results-dir) so a killed run can be finished with --resume. \
+             Off by default: checkpointing is durable-run machinery, not \
+             part of the plain jobs-identity contract.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume a killed or cancelled mega run: replay the journal, \
+             restore checkpointed shards (digests verified, hex-float \
+             exact) and recompute only the missing ones. Implies \
+             --checkpoint.")
+  in
+  let run flows shards capacity fg_flows rtt duration fluid_dt seed jobs
+      results_dir do_checkpoint resume check obs =
    match setup_check check with
    | Error msg -> `Error (false, msg)
    | Ok check_enabled ->
@@ -1154,7 +1312,27 @@ let mega_cmd =
         seed;
       }
     in
-    let r = Mega_tier.run ~jobs p in
+    let checkpoint =
+      if not (do_checkpoint || resume) then None
+      else begin
+        Harness.Pool.install_signal_cancellation ~label:"mega run" ();
+        let journal =
+          Harness.Journal.open_append
+            ~path:(Filename.concat results_dir "mega.journal")
+            ~fresh:(not resume) ()
+        in
+        Some
+          {
+            Mega_tier.ck_cache = Harness.Cache.create ~dir:results_dir ();
+            ck_journal = Some journal;
+            ck_resume = resume;
+          }
+      end
+    in
+    let r = Mega_tier.run ~jobs ?checkpoint p in
+    (match checkpoint with
+    | Some { Mega_tier.ck_journal = Some j; _ } -> Harness.Journal.close j
+    | Some _ | None -> ());
     Mega_tier.print r;
     if check_enabled then
       Printf.printf "invariant checks: clean (%d shard(s))\n" shards;
@@ -1163,6 +1341,11 @@ let mega_cmd =
         (Obs.merge_all (Obs.root_snapshot () :: r.Mega_tier.obs_snaps));
     `Ok ()
    with
+   | Mega_tier.Interrupted ->
+       Printf.printf
+         "mega run cancelled: completed shards are journaled — rerun with \
+          --resume to finish\n";
+       Stdlib.exit Harness.Pool.cancelled_exit_code
    | Check.Violation msg ->
        `Error (false, Printf.sprintf "invariant violation: %s" msg)
    | Failure msg -> `Error (false, msg))
@@ -1172,7 +1355,8 @@ let mega_cmd =
     Term.(
       ret
         (const run $ flows $ shards $ capacity $ fg_flows $ rtt $ duration
-       $ fluid_dt $ seed $ jobs $ check_arg $ obs_arg))
+       $ fluid_dt $ seed $ jobs $ results_dir $ do_checkpoint $ resume
+       $ check_arg $ obs_arg))
 
 let () =
   let doc = "TAQ: Timeout Aware Queuing (EuroSys'14) reproduction toolkit" in

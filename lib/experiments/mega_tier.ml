@@ -46,7 +46,16 @@ type result = {
   shard_results : shard_result list;
   cohort : Mega.summary;
   obs_snaps : Taq_obs.Obs.snapshot list;
+  restored_shards : int;
 }
+
+type checkpoint = {
+  ck_cache : Harness.Cache.t;
+  ck_journal : Harness.Journal.t option;
+  ck_resume : bool;
+}
+
+exception Interrupted
 
 let shard_key p ~shard =
   Printf.sprintf
@@ -92,33 +101,191 @@ let run_shard p ~shard ~seed =
     utilization = Common.utilization env;
   }
 
-let run ?(jobs = 1) p =
+(* --- shard checkpoints ---------------------------------------------------
+
+   One cache entry per completed shard, referenced from the write-ahead
+   journal by payload digest. Floats travel as hex literals ([%h]), so
+   a restored shard is bit-identical to the one that was computed —
+   which is what keeps a resumed run's merged cohort and counter table
+   byte-identical to an uninterrupted one. *)
+
+let wire_of_shard r =
+  Printf.sprintf "megashard1 %d %h %h %h %h %h|%s" r.shard
+    r.fluid_arrived_bytes r.fluid_dropped_bytes r.fg_jain r.fg_loss
+    r.utilization
+    (Mega.summary_to_wire r.summary)
+
+let shard_of_wire w =
+  match String.index_opt w '|' with
+  | None -> None
+  | Some bar -> (
+      let head = String.sub w 0 bar in
+      let tail = String.sub w (bar + 1) (String.length w - bar - 1) in
+      match
+        Scanf.sscanf head "megashard1 %d %h %h %h %h %h%!"
+          (fun shard fluid_arrived_bytes fluid_dropped_bytes fg_jain fg_loss
+               utilization ->
+            (shard, fluid_arrived_bytes, fluid_dropped_bytes, fg_jain, fg_loss,
+             utilization))
+      with
+      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+      | shard, fluid_arrived_bytes, fluid_dropped_bytes, fg_jain, fg_loss,
+        utilization ->
+          Option.map
+            (fun summary ->
+              {
+                shard;
+                summary;
+                fluid_arrived_bytes;
+                fluid_dropped_bytes;
+                fg_jain;
+                fg_loss;
+                utilization;
+              })
+            (Mega.summary_of_wire tail))
+
+let obs_entry_key key = Harness.Cache.key ~parts:[ key; "obs" ]
+
+let payload_entry_key key = Harness.Cache.key ~parts:[ key ]
+
+(* A journaled shard is restorable iff the journal's digest matches the
+   cache payload, the payload parses, and (when counters are on) its
+   obs snapshot entry parses too — any doubt means recompute. *)
+let restore_shard ck ~finished ~key ~shard =
+  match Hashtbl.find_opt finished key with
+  | None -> None
+  | Some digest -> (
+      match Harness.Cache.find ck.ck_cache ~key:(payload_entry_key key) with
+      | None -> None
+      | Some payload when Digest.to_hex (Digest.string payload) <> digest ->
+          None
+      | Some payload -> (
+          match shard_of_wire payload with
+          | Some r when r.shard = shard ->
+              if not (Taq_obs.Obs.policy_enabled ()) then
+                Some (r, Taq_obs.Obs.empty_snapshot)
+              else (
+                match
+                  Harness.Cache.find ck.ck_cache ~key:(obs_entry_key key)
+                with
+                | None -> None
+                | Some s -> (
+                    match Taq_obs.Obs.snapshot_of_string s with
+                    | Ok snap -> Some (r, snap)
+                    | Error _ -> None))
+          | _ -> None))
+
+(* Persist a completed shard and only then journal its Finish record:
+   the journal must never testify to a payload that is not on disk. *)
+let checkpoint_shard ck ~key r snap =
+  let payload = wire_of_shard r in
+  Harness.Cache.store ck.ck_cache ~key:(payload_entry_key key) payload;
+  if Taq_obs.Obs.policy_enabled () then
+    Harness.Cache.store ck.ck_cache ~key:(obs_entry_key key)
+      (Taq_obs.Obs.snapshot_to_string snap);
+  match ck.ck_journal with
+  | None -> ()
+  | Some j ->
+      Harness.Journal.append j
+        (Harness.Journal.Finish
+           { key; digest = Digest.to_hex (Digest.string payload) })
+
+let run ?(jobs = 1) ?checkpoint p =
   if p.shards <= 0 then invalid_arg "Mega_tier.run: shards";
   if p.total_flows < p.shards then invalid_arg "Mega_tier.run: total_flows";
-  let tasks =
-    List.init p.shards (fun shard ->
-        Harness.Task.make ~key:(shard_key p ~shard) (fun ~seed ->
-            run_shard p ~shard ~seed))
+  let keys = List.init p.shards (fun shard -> shard_key p ~shard) in
+  let task_of shard =
+    Harness.Task.make ~key:(shard_key p ~shard) (fun ~seed ->
+        run_shard p ~shard ~seed)
   in
-  let shard_results, obs_snaps =
-    if jobs <= 1 then
-      (* In-process: counters accumulate in the caller's collector
-         (the bench harness relies on this — see the .mli). *)
-      (List.map Harness.Task.run tasks, [])
-    else
-      let results = Harness.Pool.run ~jobs tasks in
-      ( List.map
+  let shard_results, obs_snaps, restored_shards =
+    match checkpoint with
+    | None ->
+        let tasks = List.init p.shards task_of in
+        if jobs <= 1 then
+          (* In-process: counters accumulate in the caller's collector
+             (the bench harness relies on this — see the .mli). *)
+          (List.map Harness.Task.run tasks, [], 0)
+        else
+          let results = Harness.Pool.run ~jobs tasks in
+          ( List.map
+              (fun (r : shard_result Harness.Pool.result) ->
+                match r.Harness.Pool.value with
+                | Ok v -> v
+                | Error msg ->
+                    failwith
+                      (Printf.sprintf "mega shard %s failed: %s"
+                         r.Harness.Pool.key msg))
+              results,
+            List.map
+              (fun (r : shard_result Harness.Pool.result) ->
+                r.Harness.Pool.obs)
+              results,
+            0 )
+    | Some ck ->
+        let finished =
+          if ck.ck_resume then
+            match ck.ck_journal with
+            | Some j ->
+                Harness.Journal.finished
+                  (Harness.Journal.replay ~path:(Harness.Journal.path j))
+            | None -> Hashtbl.create 1
+          else Hashtbl.create 1
+        in
+        let restored = Hashtbl.create 16 in
+        List.iteri
+          (fun shard key ->
+            match restore_shard ck ~finished ~key ~shard with
+            | Some rs -> Hashtbl.replace restored key rs
+            | None -> ())
+          keys;
+        let tasks =
+          List.init p.shards Fun.id
+          |> List.filter (fun shard ->
+                 not (Hashtbl.mem restored (shard_key p ~shard)))
+          |> List.map task_of
+        in
+        let on_start key =
+          match ck.ck_journal with
+          | None -> ()
+          | Some j -> Harness.Journal.append j (Harness.Journal.Start key)
+        in
+        let on_done ~completed:_ ~total:_
+            (r : shard_result Harness.Pool.result) =
+          match r.Harness.Pool.value with
+          | Ok v -> checkpoint_shard ck ~key:r.Harness.Pool.key v r.Harness.Pool.obs
+          | Error _ -> ()
+        in
+        (* Checkpointed runs always go through the pool (even jobs 1):
+           per-shard snapshots must exist so a resume can restore them. *)
+        let results =
+          Harness.Pool.run ~jobs:(Stdlib.max 1 jobs) ~on_start ~on_done tasks
+        in
+        if
+          Harness.Pool.cancel_requested ()
+          || List.exists Harness.Pool.cancelled results
+        then raise Interrupted;
+        let computed = Hashtbl.create 16 in
+        List.iter
           (fun (r : shard_result Harness.Pool.result) ->
             match r.Harness.Pool.value with
-            | Ok v -> v
+            | Ok v -> Hashtbl.replace computed r.Harness.Pool.key (v, r.Harness.Pool.obs)
             | Error msg ->
                 failwith
-                  (Printf.sprintf "mega shard %s failed: %s" r.Harness.Pool.key
-                     msg))
-          results,
-        List.map
-          (fun (r : shard_result Harness.Pool.result) -> r.Harness.Pool.obs)
-          results )
+                  (Printf.sprintf "mega shard %s failed: %s"
+                     r.Harness.Pool.key msg))
+          results;
+        let pairs =
+          List.map
+            (fun key ->
+              match Hashtbl.find_opt restored key with
+              | Some rs -> rs
+              | None -> Hashtbl.find computed key)
+            keys
+        in
+        ( List.map fst pairs,
+          List.map snd pairs,
+          Hashtbl.length restored )
   in
   let cohort =
     List.fold_left
@@ -129,7 +296,7 @@ let run ?(jobs = 1) p =
     failwith
       (Printf.sprintf "mega cohort covered %d flows, expected %d" cohort.Mega.n
          p.total_flows);
-  { params = p; shard_results; cohort; obs_snaps }
+  { params = p; shard_results; cohort; obs_snaps; restored_shards }
 
 let print r =
   let p = r.params in
@@ -172,4 +339,6 @@ let print r =
     "\ncohort: %s | fluid arrived %.1f MB, dropped %.4f of bytes\n"
     (Mega.summary_to_string r.cohort)
     (arrived /. 1e6)
-    (if arrived <= 0.0 then 0.0 else dropped /. arrived)
+    (if arrived <= 0.0 then 0.0 else dropped /. arrived);
+  if r.restored_shards > 0 then
+    Out.printf "checkpoints: %d shard(s) restored\n" r.restored_shards

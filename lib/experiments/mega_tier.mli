@@ -54,8 +54,27 @@ type result = {
   cohort : Taq_workload.Mega.summary;  (** merged digest of all shards *)
   obs_snaps : Taq_obs.Obs.snapshot list;
       (** per-shard obs snapshots in shard order; empty when
-          [jobs <= 1] (counters went to the caller's collector) *)
+          [jobs <= 1] without a checkpoint (counters went to the
+          caller's collector) *)
+  restored_shards : int;
+      (** shards served from checkpoints instead of recomputed *)
 }
+
+type checkpoint = {
+  ck_cache : Taq_harness.Cache.t;
+      (** holds one payload entry (and one obs-snapshot entry when
+          counters are on) per completed shard *)
+  ck_journal : Taq_harness.Journal.t option;
+      (** the write-ahead ledger; [None] ⇒ shards are cached but a
+          resume cannot trust them (nothing testifies to completion) *)
+  ck_resume : bool;
+      (** replay the journal first and recompute only missing shards *)
+}
+
+exception Interrupted
+(** Raised (after flushing completed shards to the journal) when
+    cooperative cancellation fires mid-run; the caller prints a note
+    and exits with {!Taq_harness.Pool.cancelled_exit_code}. *)
 
 val shard_key : params -> shard:int -> string
 (** The canonical task key of one shard — every output-affecting
@@ -63,8 +82,21 @@ val shard_key : params -> shard:int -> string
     cohort seed) is folded in, and the per-shard simulation seed
     derives from it. *)
 
-val run : ?jobs:int -> params -> result
+val run : ?jobs:int -> ?checkpoint:checkpoint -> params -> result
 (** Execute all shards (default [jobs = 1]).
+
+    With [checkpoint]: every completed shard is persisted (result
+    payload + obs snapshot, hex-float exact) and journaled before the
+    run proceeds, and with [ck_resume = true] journaled shards whose
+    digests verify are restored instead of recomputed — merged cohort,
+    per-shard table and counter totals are byte-identical to an
+    uninterrupted run because shards merge in index order. A
+    checkpointed run always goes through the pool, even at [jobs = 1],
+    so per-shard snapshots exist to restore.
+
+    @raise Interrupted
+      if cooperative cancellation fired mid-run (completed shards are
+      already journaled; resume recomputes only the rest).
     @raise Failure
       if any shard fails, or if the generated cohort does not cover
       exactly [total_flows] flows. *)

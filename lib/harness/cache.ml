@@ -4,13 +4,15 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
-  (* Observability mirrors of the three counters above, resolved once
-     at creation (ambient instance → the root collector, since caches
+  mutable io_errors : int;
+  (* Observability mirrors of the counters above, resolved once at
+     creation (ambient instance → the root collector, since caches
      are created on the main domain). Bumped only inside this cache's
      mutex sections, so cross-domain updates are already serialized. *)
   obs_hits : int ref;
   obs_misses : int ref;
   obs_evictions : int ref;
+  obs_io_errors : int ref;
 }
 
 let default_dir = "_results"
@@ -23,9 +25,11 @@ let create ?(dir = default_dir) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    io_errors = 0;
     obs_hits = Taq_obs.Obs.labeled_ref obs "cache.hits";
     obs_misses = Taq_obs.Obs.labeled_ref obs "cache.misses";
     obs_evictions = Taq_obs.Obs.labeled_ref obs "cache.evictions";
+    obs_io_errors = Taq_obs.Obs.labeled_ref obs "cache.io_errors";
   }
 
 let dir t = t.dir
@@ -116,21 +120,42 @@ let find t ~key:k =
             None)
 
 let store t ~key:k data =
-  mkdirs t.dir;
-  (* Write-then-rename so a concurrent reader never observes a torn
-     entry; the temp file lives in the cache dir so the rename stays on
-     one filesystem. *)
+  (* Stores never take a run down: a cache that cannot be written
+     (ENOSPC, read-only directory, quota) degrades this entry to
+     uncached — warn once, bump [io_errors], and the caller's freshly
+     computed result is still in hand. *)
   let tmp =
-    Filename.concat t.dir
-      (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) k)
+    Filename.concat t.dir (Printf.sprintf ".tmp.%d.%s" (Unix.getpid ()) k)
   in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc data;
-      output_string oc (trailer data));
-  Sys.rename tmp (path t ~key:k)
+  try
+    mkdirs t.dir;
+    (* Write-then-rename so a concurrent reader never observes a torn
+       entry; the temp file lives in the cache dir so the rename stays
+       on one filesystem. *)
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc data;
+        output_string oc (trailer data));
+    Sys.rename tmp (path t ~key:k)
+  with (Sys_error _ | Unix.Unix_error _) as e ->
+    let msg =
+      match e with
+      | Sys_error m -> m
+      | Unix.Unix_error (err, _, _) -> Unix.error_message err
+      | _ -> Printexc.to_string e
+    in
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Mutex.lock t.mutex;
+    t.io_errors <- t.io_errors + 1;
+    incr t.obs_io_errors;
+    let first = t.io_errors = 1 in
+    Mutex.unlock t.mutex;
+    if first then
+      Printf.eprintf
+        "taq cache: store failed (%s) — continuing uncached (dir: %s)\n%!"
+        msg t.dir
 
 let find_or_compute t ~key:k f =
   match find t ~key:k with
@@ -154,3 +179,5 @@ let hits t = t.hits
 let misses t = t.misses
 
 let evictions t = t.evictions
+
+let io_errors t = t.io_errors

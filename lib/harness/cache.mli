@@ -35,7 +35,11 @@ val find : t -> key:string -> string option
     which is evicted from disk first. *)
 
 val store : t -> key:string -> string -> unit
-(** Persist payload + integrity trailer (write-then-rename). *)
+(** Persist payload + integrity trailer (write-then-rename). Never
+    raises on I/O failure (ENOSPC, read-only directory): the entry is
+    dropped, a warning is printed once per cache, and {!io_errors} /
+    the [cache.io_errors] obs counter are bumped — the run continues
+    uncached rather than aborting. *)
 
 val find_or_compute :
   t -> key:string -> (unit -> string) -> [ `Hit | `Miss ] * string
@@ -48,4 +52,8 @@ val misses : t -> int
 
 val evictions : t -> int
 (** Corrupted entries deleted by {!find} over this instance's
+    lifetime. *)
+
+val io_errors : t -> int
+(** Failed {!store}s (degraded-to-uncached) over this instance's
     lifetime. *)

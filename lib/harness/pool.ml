@@ -7,6 +7,45 @@ type 'a result = {
   obs : Taq_obs.Obs.snapshot;
 }
 
+(* --- cooperative cancellation ------------------------------------------ *)
+
+(* One process-wide flag, following the write-once ambient pattern of
+   Check/Obs/Plan: the CLI installs signal handlers on the main domain
+   before any pool runs, worker domains poll the flag between tasks.
+   The first signal asks the pool to finish in-flight tasks and mark
+   the rest cancelled; the second exits immediately. *)
+
+let cancel_flag = Atomic.make false
+
+let request_cancel () = Atomic.set cancel_flag true
+
+let cancel_requested () = Atomic.get cancel_flag
+
+let reset_cancel () = Atomic.set cancel_flag false
+
+let cancelled_exit_code = 130
+
+let forced_exit_code = 131
+
+let cancelled_message = "cancelled"
+
+let install_signal_cancellation ?(label = "run") () =
+  let handler _ =
+    if Atomic.get cancel_flag then Stdlib.exit forced_exit_code
+    else begin
+      Atomic.set cancel_flag true;
+      Printf.eprintf
+        "taq: signal received — cancelling the %s after in-flight tasks \
+         (signal again to force-quit)\n%!"
+        label
+    end
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handler)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 (* --- a tiny closeable work queue (Mutex + Condition) ------------------- *)
 
 module Work_queue = struct
@@ -88,28 +127,36 @@ let run_attempt ~timeout_s task =
       let slot = Atomic.make None in
       let d = Domain.spawn (fun () -> Atomic.set slot (Some (body ()))) in
       let deadline = Unix.gettimeofday () +. limit in
-      let rec wait () =
+      (* Exponential poll: start fine-grained so short tasks return
+         promptly, back off toward [max_poll_s] so a long deadline does
+         not spin the worker at 500 Hz for its whole duration. *)
+      let max_poll_s = 0.02 in
+      let rec wait poll_s =
         match Atomic.get slot with
         | Some (value, snap) ->
             Domain.join d;
             (value, snap, false)
         | None ->
-            if Unix.gettimeofday () >= deadline then
+            let remaining = deadline -. Unix.gettimeofday () in
+            if remaining <= 0.0 then
               ( Error (Printf.sprintf "timed out after %gs" limit),
                 Taq_obs.Obs.empty_snapshot,
                 true )
             else begin
-              Unix.sleepf 0.002;
-              wait ()
+              Unix.sleepf (Float.min poll_s remaining);
+              wait (Float.min max_poll_s (poll_s *. 2.0))
             end
       in
-      wait ()
+      wait 0.0005
 
-(* Bounded retry with exponential backoff: a failed or timed-out
-   attempt is retried up to [retries] times (sleeping
-   backoff_s · 2^(attempt-1) between attempts); after that the task is
-   quarantined — recorded as [Error] and never retried again. *)
-let exec ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
+(* Bounded retry with capped exponential backoff: a failed or timed-out
+   attempt is retried up to [retries] times, sleeping
+   [min backoff_cap_s (backoff_s · 2^(attempt-1))] between attempts —
+   the cap keeps a large retry budget from sleeping for minutes — after
+   which the task is quarantined: recorded as [Error], never retried
+   again. *)
+let exec ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_cap_s = 2.0)
+    task =
   let t0 = Unix.gettimeofday () in
   let rec go attempt =
     let value, snap, timed_out = run_attempt ~timeout_s task in
@@ -117,7 +164,9 @@ let exec ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
     | Ok _ -> (value, snap, timed_out, attempt)
     | Error _ when attempt > retries -> (value, snap, timed_out, attempt)
     | Error _ ->
-        Unix.sleepf (backoff_s *. (2.0 ** float_of_int (attempt - 1)));
+        Unix.sleepf
+          (Float.min backoff_cap_s
+             (backoff_s *. (2.0 ** float_of_int (attempt - 1))));
         go (attempt + 1)
   in
   (* Only the final attempt's snapshot is kept: retried attempts were
@@ -133,7 +182,21 @@ let exec ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
     obs;
   }
 
-let run ?(jobs = 1) ?timeout_s ?retries ?backoff_s ?on_done tasks =
+(* A task the pool never executed: either the run was cancelled before
+   its turn, or the worker holding it died with the respawn budget
+   exhausted. [attempts = 0] distinguishes both from executed tasks. *)
+let unexecuted_result key msg =
+  {
+    key;
+    value = Error msg;
+    elapsed_s = 0.0;
+    attempts = 0;
+    timed_out = false;
+    obs = Taq_obs.Obs.empty_snapshot;
+  }
+
+let run ?(jobs = 1) ?timeout_s ?retries ?backoff_s ?backoff_cap_s
+    ?max_respawns ?on_start ?on_done tasks =
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   let results : 'a result option array = Array.make n None in
@@ -141,20 +204,41 @@ let run ?(jobs = 1) ?timeout_s ?retries ?backoff_s ?on_done tasks =
   let finished = ref 0 in
   let note i r =
     (* Called from worker domains: protect the results array and the
-       progress callback with one mutex so callbacks never interleave. *)
+       progress callback with one mutex so callbacks never interleave.
+       The unlock is in a [finally]: a raising [on_done] must not
+       leave the mutex held, or it would deadlock every other worker —
+       it kills this worker instead, and supervision respawns it. *)
     Mutex.lock progress_mutex;
-    results.(i) <- Some r;
-    incr finished;
-    (match on_done with
-    | Some f -> f ~completed:!finished ~total:n r
-    | None -> ());
-    Mutex.unlock progress_mutex
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock progress_mutex)
+      (fun () ->
+        results.(i) <- Some r;
+        incr finished;
+        match on_done with
+        | Some f -> f ~completed:!finished ~total:n r
+        | None -> ())
   in
-  let exec1 task = exec ?timeout_s ?retries ?backoff_s task in
+  let exec1 task = exec ?timeout_s ?retries ?backoff_s ?backoff_cap_s task in
+  let start1 i =
+    if Atomic.get cancel_flag then
+      note i (unexecuted_result (Task.key tasks.(i)) cancelled_message)
+    else begin
+      (match on_start with
+      | Some f -> f (Task.key tasks.(i))
+      | None -> ());
+      note i (exec1 tasks.(i))
+    end
+  in
+  (* Worker deaths and respawns are infrastructure events, not task
+     outcomes; they surface as obs counters (and stderr warnings). *)
+  let obs = Taq_obs.Obs.ambient () in
+  let deaths = ref 0 and respawned = ref 0 and lost = ref 0 in
   if jobs <= 1 || n <= 1 then
     (* Degraded mode: strictly sequential, in-process, no domains
-       (except timeout watchdogs, when requested). *)
-    Array.iteri (fun i task -> note i (exec1 task)) tasks
+       (except timeout watchdogs, when requested). A raising [on_done]
+       propagates to the caller here — there is no worker to die in
+       its place. *)
+    Array.iteri (fun i _ -> start1 i) tasks
   else begin
     let queue = Work_queue.create () in
     let worker () =
@@ -162,29 +246,78 @@ let run ?(jobs = 1) ?timeout_s ?retries ?backoff_s ?on_done tasks =
         match Work_queue.pop queue with
         | None -> ()
         | Some i ->
-            note i (exec1 tasks.(i));
+            start1 i;
             loop ()
       in
       loop ()
     in
-    let domains =
-      List.init (Stdlib.min jobs n) (fun _ -> Domain.spawn worker)
+    let workers = Stdlib.min jobs n in
+    let respawn_budget =
+      match max_respawns with Some m -> Stdlib.max 0 m | None -> workers
     in
+    let domains = List.init workers (fun _ -> Domain.spawn worker) in
     Array.iteri (fun i _ -> Work_queue.push queue i) tasks;
     Work_queue.close queue;
-    List.iter Domain.join domains
+    (* Supervision: joining a worker that died of an escaped exception
+       (a raising [on_done], infrastructure failure) re-raises it here.
+       The task it held is lost — it was popped, and cannot safely be
+       re-queued without risking double execution — but the rest of the
+       queue must still drain, so the worker is respawned up to the
+       budget instead of silently shrinking the pool. *)
+    let unfinished () =
+      Mutex.lock progress_mutex;
+      let u = !finished < n in
+      Mutex.unlock progress_mutex;
+      u
+    in
+    let rec supervise d =
+      match Domain.join d with
+      | () -> ()
+      | exception e ->
+          incr deaths;
+          Printf.eprintf "taq pool: worker died unexpectedly: %s\n%!"
+            (Printexc.to_string e);
+          if unfinished () && !respawned < respawn_budget then begin
+            incr respawned;
+            supervise (Domain.spawn worker)
+          end
+    in
+    List.iter supervise domains
   end;
-  Array.to_list
-    (Array.map
-       (function
-         | Some r -> r
-         | None -> assert false (* every index was executed exactly once *))
-       results)
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some r -> r
+           | None ->
+               (* Never noted: cancelled before its turn, or its worker
+                  died after popping it with no respawn budget left. *)
+               incr lost;
+               unexecuted_result (Task.key tasks.(i))
+                 (if Atomic.get cancel_flag then cancelled_message
+                  else "lost: worker died before completing this task"))
+         results)
+  in
+  if !deaths > 0 then Taq_obs.Obs.labeled obs "pool.worker_deaths" !deaths;
+  if !respawned > 0 then
+    Taq_obs.Obs.labeled obs "pool.workers_respawned" !respawned;
+  let really_lost =
+    List.length
+      (List.filter
+         (fun r -> r.attempts = 0 && r.value = Error cancelled_message)
+         results)
+  in
+  if !lost - really_lost > 0 then
+    Taq_obs.Obs.labeled obs "pool.tasks_lost" (!lost - really_lost);
+  results
 
 let value_exn r =
   match r.value with
   | Ok v -> v
   | Error msg -> failwith (Printf.sprintf "task %s failed: %s" r.key msg)
+
+let cancelled r = r.attempts = 0 && r.value = Error cancelled_message
 
 let status r =
   match (r.value, r.timed_out) with
@@ -196,7 +329,8 @@ let status r =
         Printf.sprintf "timeout (%d attempts)" r.attempts
       else "timeout"
   | Error msg, false ->
-      if r.attempts > 1 then
+      if r.attempts = 0 then msg (* "cancelled" / "lost: ..." *)
+      else if r.attempts > 1 then
         Printf.sprintf "error (%d attempts): %s" r.attempts msg
       else "error: " ^ msg
 

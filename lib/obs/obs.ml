@@ -252,6 +252,47 @@ let gauges_to_json snap =
   Json.Obj
     (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) snap.gauges)
 
+(* Wire form for durable runs: counters + gauges only. GC words are
+   machine noise (deliberately absent from [report] too) and trace
+   events have their own file format, so the part worth persisting is
+   exactly the part whose merge is deterministic. *)
+let snapshot_to_string snap =
+  Json.to_string
+    (Json.Obj
+       [ ("counters", counters_to_json snap); ("gauges", gauges_to_json snap) ])
+
+let snapshot_of_string s =
+  let ( let* ) r f = Result.bind r f in
+  let assoc_of field json =
+    match Json.member field json with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, v) :: rest -> (
+              (* Stricter than [Json.to_int] (which truncates): counter
+                 values are integers, a fractional one is corruption. *)
+              match v with
+              | Json.Num f when Float.is_integer f ->
+                  conv ((k, int_of_float f) :: acc) rest
+              | _ ->
+                  Error
+                    (Printf.sprintf "snapshot: field %S of %S is not an int" k
+                       field))
+        in
+        conv [] kvs
+    | Some _ -> Error (Printf.sprintf "snapshot: %S is not an object" field)
+  in
+  let* json = Json.of_string s in
+  let* counters = assoc_of "counters" json in
+  let* gauges = assoc_of "gauges" json in
+  Ok
+    {
+      empty_snapshot with
+      counters = List.sort by_name counters;
+      gauges = List.sort by_name gauges;
+    }
+
 let report snap =
   let b = Buffer.create 512 in
   Buffer.add_string b "observability counters:\n";

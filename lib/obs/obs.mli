@@ -111,6 +111,18 @@ val gauge_value : snapshot -> string -> int
 val counters_to_json : snapshot -> Json.t
 val gauges_to_json : snapshot -> Json.t
 
+val snapshot_to_string : snapshot -> string
+(** Compact JSON wire form of a snapshot's counters and gauges — the
+    deterministic part worth persisting for crash-resumable runs. GC
+    word counts (machine noise) and trace events (their own file
+    format) are deliberately dropped. *)
+
+val snapshot_of_string : string -> (snapshot, string) result
+(** Parse {!snapshot_to_string} output back into a snapshot (counters
+    and gauges sorted; GC words zero, no events). Round-trip is exact:
+    counter values are integers, which {!Json} prints without a
+    decimal point. *)
+
 val report : snapshot -> string
 (** Human-readable counter/gauge table. *)
 

@@ -100,3 +100,19 @@ let summarize ~seed ~base_rtt s =
 
 let summary_to_string s =
   Printf.sprintf "n=%d,rtt=%.3f,pkt=%.1f" s.n s.mean_rtt s.mean_pkt_bytes
+
+(* Checkpoint wire form: hex floats ("%h") round-trip every finite
+   float bit-exactly, which is what lets a resumed mega run merge
+   restored shard summaries byte-identically to a fresh run. *)
+let summary_to_wire s =
+  Printf.sprintf "%d %h %h %h %h" s.n s.mean_rtt s.mean_pkt_bytes s.min_rtt
+    s.max_rtt
+
+let summary_of_wire w =
+  match
+    Scanf.sscanf w "%d %h %h %h %h%!"
+      (fun n mean_rtt mean_pkt_bytes min_rtt max_rtt ->
+        { n; mean_rtt; mean_pkt_bytes; min_rtt; max_rtt })
+  with
+  | s -> Some s
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None

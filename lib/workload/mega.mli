@@ -72,3 +72,11 @@ val empty : summary
 val summary_to_string : summary -> string
 (** Compact canonical rendering for reports and task keys, e.g.
     ["n=1000000,rtt=0.213,pkt=167.4"]. *)
+
+val summary_to_wire : summary -> string
+(** Exact wire form for shard checkpoints: floats as C99 hex literals
+    ([%h]), so {!summary_of_wire} recovers the summary bit-for-bit and
+    a resumed mega run merges restored shards byte-identically. *)
+
+val summary_of_wire : string -> summary option
+(** Inverse of {!summary_to_wire}; [None] on any malformed input. *)

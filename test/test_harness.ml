@@ -8,6 +8,8 @@ module Task = Taq_harness.Task
 module Pool = Taq_harness.Pool
 module Capture = Taq_harness.Capture
 module Cache = Taq_harness.Cache
+module Journal = Taq_harness.Journal
+module Obs = Taq_obs.Obs
 
 let contains ~needle hay =
   let nh = String.length hay and nn = String.length needle in
@@ -515,6 +517,442 @@ let prop_parallel_matches_sequential =
           && Pool.value_exn a = Pool.value_exn b)
         seq par)
 
+(* --- Pool: supervision, cancellation, backoff cap --------------------------- *)
+
+let test_pool_on_done_poison_respawns () =
+  (* A raising on_done kills its worker (the pool mutex is released by
+     Fun.protect first); supervision must respawn workers so the rest
+     of the queue still drains — no deadlock, no lost results beyond
+     the poisoned callbacks' own tasks, which were already recorded. *)
+  let n = 6 in
+  let tasks =
+    List.init n (fun i ->
+        Task.make ~key:(Printf.sprintf "t%d" i) (fun ~seed:_ ->
+            (* Slow the first tasks slightly so both workers pick one
+               up before the queue drains. *)
+            if i < 2 then Unix.sleepf 0.05;
+            i))
+  in
+  let results =
+    Pool.run ~jobs:2
+      ~on_done:(fun ~completed:_ ~total:_ r ->
+        if r.Pool.key = "t0" || r.Pool.key = "t1" then
+          failwith "poisoned callback")
+      tasks
+  in
+  Alcotest.(check int) "all results present" n (List.length results);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "task %d completed despite worker deaths" i)
+        i (Pool.value_exn r))
+    results
+
+let test_pool_on_done_raise_releases_mutex_sequential () =
+  (* jobs=1 path: the callback's exception propagates to the caller,
+     but the progress mutex must have been released on the way out. *)
+  (match
+     Pool.run ~jobs:1
+       ~on_done:(fun ~completed:_ ~total:_ _ -> failwith "cb")
+       [ Task.make ~key:"only" (fun ~seed:_ -> 0) ]
+   with
+  | _ -> Alcotest.fail "raising on_done must propagate at jobs=1"
+  | exception Failure msg -> Alcotest.(check string) "the callback's error" "cb" msg);
+  ()
+
+let test_pool_cancellation () =
+  Fun.protect ~finally:Pool.reset_cancel (fun () ->
+      let ran = Atomic.make 0 in
+      let tasks =
+        List.init 8 (fun i ->
+            Task.make ~key:(Printf.sprintf "c%d" i) (fun ~seed:_ ->
+                Atomic.incr ran;
+                if i = 0 then Pool.request_cancel ();
+                Unix.sleepf 0.02;
+                i))
+      in
+      let results = Pool.run ~jobs:2 tasks in
+      Alcotest.(check int) "every task has a result" 8 (List.length results);
+      let cancelled = List.filter Pool.cancelled results in
+      Alcotest.(check bool)
+        "some tasks were skipped" true
+        (List.length cancelled > 0);
+      List.iter
+        (fun (r : int Pool.result) ->
+          Alcotest.(check int)
+            (r.Pool.key ^ " never executed")
+            0 r.Pool.attempts;
+          Alcotest.(check string)
+            (r.Pool.key ^ " status") "cancelled" (Pool.status r))
+        cancelled;
+      (* In-flight tasks completed; skipped ones never ran. *)
+      Alcotest.(check int)
+        "executed + cancelled = all" 8
+        (Atomic.get ran + List.length cancelled))
+
+let test_pool_cancel_sequential () =
+  Fun.protect ~finally:Pool.reset_cancel (fun () ->
+      let results =
+        Pool.run ~jobs:1
+          [
+            Task.make ~key:"first" (fun ~seed:_ ->
+                Pool.request_cancel ();
+                1);
+            Task.make ~key:"second" (fun ~seed:_ -> 2);
+            Task.make ~key:"third" (fun ~seed:_ -> 3);
+          ]
+      in
+      match results with
+      | [ a; b; c ] ->
+          Alcotest.(check int) "in-flight task completed" 1 (Pool.value_exn a);
+          Alcotest.(check bool) "second cancelled" true (Pool.cancelled b);
+          Alcotest.(check bool) "third cancelled" true (Pool.cancelled c)
+      | _ -> Alcotest.fail "expected 3 results")
+
+let test_pool_backoff_capped () =
+  (* 5 retries at backoff_s=0.05 would sleep 0.05+0.1+0.2+0.4+0.8 =
+     1.55 s uncapped; capped at 0.05 the total is 0.25 s. The margin
+     below (1 s) is generous enough for slow CI machines yet far under
+     the uncapped sum. *)
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Pool.run ~jobs:1 ~retries:5 ~backoff_s:0.05 ~backoff_cap_s:0.05
+      [ Task.make ~key:"doomed" (fun ~seed:_ -> failwith "always") ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match results with
+  | [ r ] -> Alcotest.(check int) "all attempts made" 6 r.Pool.attempts
+  | _ -> Alcotest.fail "expected 1 result");
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff capped (%.2f s elapsed)" elapsed)
+    true (elapsed < 1.0)
+
+(* --- Cache: degraded stores -------------------------------------------------- *)
+
+let test_cache_store_degrades_on_io_error () =
+  (* Point the cache at a path that cannot be a directory (it is a
+     file): stores must fail soft — no exception, io_errors counted,
+     and find still reports a miss. *)
+  incr temp_cache_counter;
+  let blocker =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taq-cache-blocker-%d-%d" (Unix.getpid ())
+         !temp_cache_counter)
+  in
+  let oc = open_out_bin blocker in
+  output_string oc "not a directory";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove blocker with Sys_error _ -> ())
+    (fun () ->
+      let cache = Cache.create ~dir:blocker () in
+      let key = Cache.key ~parts:[ "degraded" ] in
+      Cache.store cache ~key "payload";
+      Alcotest.(check int) "store failure counted" 1 (Cache.io_errors cache);
+      Alcotest.(check (option string))
+        "entry absent after failed store" None (Cache.find cache ~key);
+      (* A second failure doesn't raise either. *)
+      Cache.store cache ~key "payload";
+      Alcotest.(check int) "still failing soft" 2 (Cache.io_errors cache))
+
+(* --- Journal ----------------------------------------------------------------- *)
+
+let tricky_keys =
+  [
+    "plain/key=1";
+    "with space";
+    "percent%20literal";
+    "tab\there";
+    "newline\nembedded";
+    "trailing ";
+    " leading";
+    "control\x01\x7fbytes";
+    "high-bytes \xc3\xa9\xff";
+    "";
+  ]
+
+let test_journal_line_roundtrip () =
+  List.iter
+    (fun key ->
+      let records =
+        [
+          Journal.Start key;
+          Journal.Finish { key; digest = String.make 32 'a' };
+        ]
+      in
+      List.iter
+        (fun r ->
+          let line = Journal.line_of_record r in
+          Alcotest.(check bool)
+            (Printf.sprintf "line for %S is newline-terminated" key)
+            true
+            (String.length line > 0 && line.[String.length line - 1] = '\n');
+          match
+            Journal.record_of_line (String.sub line 0 (String.length line - 1))
+          with
+          | Some r' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "record for %S round-trips" key)
+                true (r = r')
+          | None -> Alcotest.failf "line for %S did not parse back" key)
+        records)
+    tricky_keys
+
+let test_journal_append_replay () =
+  incr temp_cache_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taq-journal-%d-%d.wal" (Unix.getpid ())
+         !temp_cache_counter)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let j = Journal.open_append ~path ~fresh:true () in
+      Alcotest.(check bool) "journal healthy" true (Journal.healthy j);
+      let records =
+        List.concat_map
+          (fun key ->
+            [
+              Journal.Start key;
+              Journal.Finish
+                { key; digest = Digest.to_hex (Digest.string key) };
+            ])
+          tricky_keys
+      in
+      List.iter (Journal.append j) records;
+      Journal.close j;
+      let replayed = Journal.replay ~path in
+      Alcotest.(check bool) "replay returns all records" true
+        (replayed = records);
+      (* Idempotence: replaying again yields the same list. *)
+      Alcotest.(check bool) "replay idempotent" true
+        (Journal.replay ~path = replayed);
+      (* Appending after a replay keeps old records and adds new ones. *)
+      let j2 = Journal.open_append ~path ~fresh:false () in
+      Journal.append j2 (Journal.Start "appended-later");
+      Journal.close j2;
+      Alcotest.(check bool) "append-after-replay extends the prefix" true
+        (Journal.replay ~path = records @ [ Journal.Start "appended-later" ]);
+      (* [finished] keeps the digest of every completed key. *)
+      let fin = Journal.finished (Journal.replay ~path) in
+      List.iter
+        (fun key ->
+          Alcotest.(check (option string))
+            (Printf.sprintf "finished digest for %S" key)
+            (Some (Digest.to_hex (Digest.string key)))
+            (Hashtbl.find_opt fin key))
+        tricky_keys;
+      Alcotest.(check (list string))
+        "started_unfinished sees the torn Start" [ "appended-later" ]
+        (Journal.started_unfinished (Journal.replay ~path)))
+
+let test_journal_degrades_on_io_error () =
+  (* Parent "directory" is a file: the journal must come back degraded
+     (healthy=false), and appends must be silent no-ops. *)
+  incr temp_cache_counter;
+  let blocker =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taq-journal-blocker-%d-%d" (Unix.getpid ())
+         !temp_cache_counter)
+  in
+  let oc = open_out_bin blocker in
+  output_string oc "file, not dir";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove blocker with Sys_error _ -> ())
+    (fun () ->
+      let j =
+        Journal.open_append
+          ~path:(Filename.concat blocker "sweep.journal")
+          ~fresh:true ()
+      in
+      Alcotest.(check bool) "degraded on open failure" false
+        (Journal.healthy j);
+      (* Appends on a degraded journal must not raise. *)
+      Journal.append j (Journal.Start "ignored");
+      Journal.close j)
+
+(* Replay of any damaged byte stream is a prefix of the appended
+   records: truncation chops the tail, and corrupting any byte can at
+   worst invalidate the record it lands in and everything after. *)
+let arbitrary_record =
+  let open QCheck in
+  let key_gen = string_gen_of_size Gen.(int_range 0 20) Gen.char in
+  map
+    (fun (key, finish) ->
+      if finish then
+        Journal.Finish { key; digest = Digest.to_hex (Digest.string key) }
+      else Journal.Start key)
+    (pair key_gen bool)
+
+let is_prefix_of ~prefix records =
+  let rec go p r =
+    match (p, r) with
+    | [], _ -> true
+    | _, [] -> false
+    | a :: p', b :: r' -> a = b && go p' r'
+  in
+  go prefix records
+
+let prop_journal_truncation_yields_prefix =
+  QCheck.Test.make
+    ~name:"journal: replay of any truncation is a prefix" ~count:200
+    QCheck.(
+      pair (list_of_size Gen.(int_range 0 12) arbitrary_record) small_nat)
+    (fun (records, cut) ->
+      let stream = String.concat "" (List.map Journal.line_of_record records) in
+      let cut = if String.length stream = 0 then 0 else cut mod (String.length stream + 1) in
+      let damaged = String.sub stream 0 cut in
+      is_prefix_of ~prefix:(Journal.decode damaged) records)
+
+let prop_journal_corruption_yields_prefix =
+  QCheck.Test.make
+    ~name:"journal: replay of any single-byte corruption is a prefix"
+    ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 1 12) arbitrary_record)
+        small_nat (int_range 0 255))
+    (fun (records, pos, byte) ->
+      let stream = String.concat "" (List.map Journal.line_of_record records) in
+      let pos = pos mod String.length stream in
+      let damaged =
+        String.mapi
+          (fun i c -> if i = pos then Char.chr byte else c)
+          stream
+      in
+      is_prefix_of ~prefix:(Journal.decode damaged) records)
+
+(* --- Durable sweep: kill-mid-run emulation + byte-identical resume ----------- *)
+
+(* The full acceptance arc, in-process: run a reference sweep with
+   per-task obs snapshots; then emulate a crash by journaling only the
+   tasks a killed run would have persisted; then resume — restore the
+   journaled tasks from the cache, compute only the rest — and check
+   the merged task counters are identical to the uninterrupted run's.
+   (CI repeats this against the real binary with a real SIGKILL.) *)
+let test_durable_resume_counters_identical () =
+  Obs.set_policy
+    {
+      Obs.policy_counters = true;
+      policy_trace = None;
+      policy_trace_capacity = 4096;
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_policy
+        {
+          Obs.policy_counters = false;
+          policy_trace = None;
+          policy_trace_capacity = 4096;
+        })
+    (fun () ->
+      with_temp_cache (fun cache ->
+          let keys = List.init 6 (fun i -> Printf.sprintf "durable/p%d" i) in
+          let task_of key =
+            Task.make ~key (fun ~seed ->
+                (* A deterministic per-task counter footprint. *)
+                let obs = Obs.ambient () in
+                Obs.labeled obs "durable.work" (seed mod 1000);
+                Obs.labeled obs "durable.tasks" 1;
+                Printf.sprintf "out:%s:%d" key seed)
+          in
+          (* Reference: uninterrupted run, all six computed. *)
+          let reference = Pool.run ~jobs:2 (List.map task_of keys) in
+          let ref_merged =
+            Obs.merge_all
+              (List.map (fun (r : string Pool.result) -> r.Pool.obs) reference)
+          in
+          (* "Killed" run: the first three tasks completed and were
+             persisted (payload + obs snapshot + journal Finish); the
+             kill landed before the rest. *)
+          let journal_path = Filename.concat (Cache.dir cache) "test.journal" in
+          let j = Journal.open_append ~path:journal_path ~fresh:true () in
+          List.iteri
+            (fun i (r : string Pool.result) ->
+              if i < 3 then begin
+                let key = r.Pool.key in
+                let payload = Pool.value_exn r in
+                Journal.append j (Journal.Start key);
+                Cache.store cache ~key:(Cache.key ~parts:[ key ]) payload;
+                Cache.store cache
+                  ~key:(Cache.key ~parts:[ key; "obs" ])
+                  (Obs.snapshot_to_string r.Pool.obs);
+                Journal.append j
+                  (Journal.Finish
+                     { key; digest = Digest.to_hex (Digest.string payload) })
+              end)
+            reference;
+          Journal.close j;
+          (* Resume: restore journaled-complete tasks, compute the rest. *)
+          let finished = Journal.finished (Journal.replay ~path:journal_path) in
+          let restored =
+            List.filter_map
+              (fun key ->
+                match Hashtbl.find_opt finished key with
+                | None -> None
+                | Some digest -> (
+                    match Cache.find cache ~key:(Cache.key ~parts:[ key ]) with
+                    | Some payload
+                      when Digest.to_hex (Digest.string payload) = digest -> (
+                        match
+                          Cache.find cache ~key:(Cache.key ~parts:[ key; "obs" ])
+                        with
+                        | Some s -> (
+                            match Obs.snapshot_of_string s with
+                            | Ok snap -> Some (key, (payload, snap))
+                            | Error _ -> None)
+                        | None -> None)
+                    | _ -> None))
+              keys
+          in
+          Alcotest.(check int) "three tasks restored" 3 (List.length restored);
+          let todo =
+            List.filter (fun k -> not (List.mem_assoc k restored)) keys
+          in
+          let computed = Pool.run ~jobs:2 (List.map task_of todo) in
+          let by_key = Hashtbl.create 16 in
+          List.iter
+            (fun (r : string Pool.result) ->
+              Hashtbl.replace by_key r.Pool.key (Pool.value_exn r, r.Pool.obs))
+            computed;
+          (* Merge in task order, restored-or-computed. *)
+          let merged =
+            Obs.merge_all
+              (List.map
+                 (fun key ->
+                   match List.assoc_opt key restored with
+                   | Some (_, snap) -> snap
+                   | None -> snd (Hashtbl.find by_key key))
+                 keys)
+          in
+          Alcotest.(check bool)
+            "merged task counters identical to the uninterrupted run" true
+            (merged.Obs.counters = ref_merged.Obs.counters
+            && merged.Obs.gauges = ref_merged.Obs.gauges);
+          (* And the payloads line up too. *)
+          List.iter
+            (fun key ->
+              let expected =
+                Pool.value_exn
+                  (List.find
+                     (fun (r : string Pool.result) -> r.Pool.key = key)
+                     reference)
+              in
+              let actual =
+                match List.assoc_opt key restored with
+                | Some (payload, _) -> payload
+                | None -> fst (Hashtbl.find by_key key)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "payload for %s identical" key)
+                expected actual)
+            keys))
+
 (* --- suite ----------------------------------------------------------------- *)
 
 let () =
@@ -548,6 +986,16 @@ let () =
             test_pool_retry_until_success;
           Alcotest.test_case "retry budget exhausted" `Quick
             test_pool_retry_exhausted;
+          Alcotest.test_case "poisoned on_done respawns workers" `Quick
+            test_pool_on_done_poison_respawns;
+          Alcotest.test_case "poisoned on_done propagates (jobs=1)" `Quick
+            test_pool_on_done_raise_releases_mutex_sequential;
+          Alcotest.test_case "cooperative cancellation (parallel)" `Quick
+            test_pool_cancellation;
+          Alcotest.test_case "cooperative cancellation (sequential)" `Quick
+            test_pool_cancel_sequential;
+          Alcotest.test_case "retry backoff capped" `Quick
+            test_pool_backoff_capped;
         ] );
       ( "capture",
         [
@@ -573,12 +1021,38 @@ let () =
             test_cache_legacy_entry_evicted;
           Alcotest.test_case "trailer round-trips tricky payloads" `Quick
             test_cache_trailer_roundtrips_tricky_payloads;
+          Alcotest.test_case "store degrades on I/O error" `Quick
+            test_cache_store_degrades_on_io_error;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "line round-trips tricky keys" `Quick
+            test_journal_line_roundtrip;
+          Alcotest.test_case "append / replay / finished" `Quick
+            test_journal_append_replay;
+          Alcotest.test_case "degrades on I/O error" `Quick
+            test_journal_degrades_on_io_error;
         ] );
       ( "chaos",
         [
           Alcotest.test_case "crash+hang+corruption sweep" `Quick
             test_chaos_sweep_still_correct;
         ] );
+      ( "durability",
+        [
+          Alcotest.test_case "kill-mid-sweep resume: counters identical"
+            `Quick test_durable_resume_counters_identical;
+        ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_harness") prop_parallel_matches_sequential ] );
+        [
+          QCheck_alcotest.to_alcotest
+            ~rand:(Qcheck_seed.rand ~file:"test_harness")
+            prop_parallel_matches_sequential;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Qcheck_seed.rand ~file:"test_harness")
+            prop_journal_truncation_yields_prefix;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Qcheck_seed.rand ~file:"test_harness")
+            prop_journal_corruption_yields_prefix;
+        ] );
     ]

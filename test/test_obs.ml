@@ -420,6 +420,54 @@ let test_compare_files () =
       | Error es ->
           Alcotest.(check bool) "failure reported" true (es <> []))
 
+(* --- snapshot wire form (durable runs) ------------------------------------- *)
+
+let test_snapshot_wire_roundtrip () =
+  let t = Obs.create () in
+  Obs.incr t Obs.Events_scheduled;
+  Obs.add t Obs.Link_bytes_tx 123456;
+  Obs.labeled t "disc.taq.drop" 7;
+  Obs.labeled t "tracker.flows_created" 42;
+  Obs.gauge_max t Obs.Heap_max_depth 99;
+  Obs.labeled_gauge_max t "guard.dwell" 17;
+  let snap = Obs.snapshot t in
+  match Obs.snapshot_of_string (Obs.snapshot_to_string snap) with
+  | Error msg -> Alcotest.failf "wire parse failed: %s" msg
+  | Ok snap' ->
+      Alcotest.(check bool) "counters exact" true
+        (snap'.Obs.counters = snap.Obs.counters);
+      Alcotest.(check bool) "gauges exact" true
+        (snap'.Obs.gauges = snap.Obs.gauges);
+      (* The wire form carries only the deterministic parts. *)
+      Alcotest.(check int) "no events" 0 (List.length snap'.Obs.events);
+      (* Merging parsed snapshots behaves like merging originals. *)
+      let m = Obs.merge snap' snap' in
+      Alcotest.(check int) "merged counter sums" 246912
+        (Obs.counter_value m "link.bytes_transmitted");
+      Alcotest.(check int) "merged gauge max" 99
+        (Obs.gauge_value m "sim.heap_max_depth")
+
+let test_snapshot_wire_empty () =
+  match Obs.snapshot_of_string (Obs.snapshot_to_string Obs.empty_snapshot) with
+  | Error msg -> Alcotest.failf "empty wire parse failed: %s" msg
+  | Ok snap ->
+      Alcotest.(check bool) "empty round-trips" true
+        (snap.Obs.counters = [] && snap.Obs.gauges = [])
+
+let test_snapshot_wire_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.snapshot_of_string s with
+      | Ok _ -> Alcotest.failf "accepted garbage %S" s
+      | Error _ -> ())
+    [
+      "";
+      "not json";
+      {|{"counters":{"x":"nan"}}|};
+      {|{"counters":{"x":1.5}}|};
+      {|{"counters":[1,2]}|};
+    ]
+
 let () =
   Alcotest.run "taq_obs"
     [
@@ -432,6 +480,12 @@ let () =
           Alcotest.test_case "labeled_ref when off" `Quick
             test_labeled_ref_disabled;
           Alcotest.test_case "policy_of_spec" `Quick test_policy_of_spec;
+          Alcotest.test_case "snapshot wire round-trip" `Quick
+            test_snapshot_wire_roundtrip;
+          Alcotest.test_case "snapshot wire empty" `Quick
+            test_snapshot_wire_empty;
+          Alcotest.test_case "snapshot wire rejects garbage" `Quick
+            test_snapshot_wire_rejects_garbage;
         ] );
       ( "json",
         [
