@@ -210,27 +210,51 @@ let experiment_cmd =
 
 (* --- sim ---------------------------------------------------------------- *)
 
+let queue_tag = function
+  | `Droptail -> "droptail"
+  | `Red -> "red"
+  | `Sfq -> "sfq"
+  | `Drr -> "drr"
+  | `Choke -> "choke"
+  | `Choked -> "choked"
+  | `Codel -> "codel"
+  | `Las -> "las"
+  | `Taq -> "taq"
+  | `Taq_ac -> "taq+ac"
+
 let queue_conv =
   let parse = function
     | "droptail" | "dt" -> Ok `Droptail
     | "red" -> Ok `Red
     | "sfq" -> Ok `Sfq
     | "drr" -> Ok `Drr
+    | "choke" -> Ok `Choke
+    | "choked" -> Ok `Choked
+    | "codel" -> Ok `Codel
+    | "las" -> Ok `Las
     | "taq" -> Ok `Taq
     | "taq+ac" | "taq-ac" -> Ok `Taq_ac
     | s -> Error (`Msg (Printf.sprintf "unknown queue %S" s))
   in
-  let print ppf q =
-    Format.pp_print_string ppf
-      (match q with
-      | `Droptail -> "droptail"
-      | `Red -> "red"
-      | `Sfq -> "sfq"
-      | `Drr -> "drr"
-      | `Taq -> "taq"
-      | `Taq_ac -> "taq+ac")
-  in
+  let print ppf q = Format.pp_print_string ppf (queue_tag q) in
   Arg.conv (parse, print)
+
+(* Build the [Common.queue] selector for one run; TAQ variants get a
+   capacity-aware config (and the overload guard when requested). *)
+let resolve_queue ?guard_cap ~capacity_bps ~buffer_pkts = function
+  | `Droptail -> Common.Droptail
+  | `Red -> Common.Red
+  | `Sfq -> Common.Sfq
+  | `Drr -> Common.Drr
+  | `Choke -> Common.Choke
+  | `Choked -> Common.Choked
+  | `Codel -> Common.Codel
+  | `Las -> Common.Las
+  | `Taq -> Common.Taq (Common.taq_config ?guard_cap ~capacity_bps ~buffer_pkts ())
+  | `Taq_ac ->
+      Common.Taq
+        (Common.taq_config ~admission:true ?guard_cap ~capacity_bps
+           ~buffer_pkts ())
 
 let sim_cmd =
   let queue =
@@ -301,19 +325,7 @@ let sim_cmd =
         ~buffer_pkts
     in
     let q =
-      match queue with
-      | `Droptail -> Common.Droptail
-      | `Red -> Common.Red
-      | `Sfq -> Common.Sfq
-      | `Drr -> Common.Drr
-      | `Taq ->
-          Common.Taq
-            (Common.taq_config ?guard_cap:guard ~capacity_bps:capacity
-               ~buffer_pkts ())
-      | `Taq_ac ->
-          Common.Taq
-            (Common.taq_config ~admission:true ?guard_cap:guard
-               ~capacity_bps:capacity ~buffer_pkts ())
+      resolve_queue ?guard_cap:guard ~capacity_bps:capacity ~buffer_pkts queue
     in
     let env =
       Common.make_env ~backend ~queue:q ~capacity_bps:capacity ~buffer_pkts
@@ -407,19 +419,7 @@ let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~guard
       ~fluid_dt:backend.bk_fluid_dt ~rtt ~capacity_bps:capacity ~buffer_pkts
   in
   let q =
-    match queue with
-    | `Droptail -> Common.Droptail
-    | `Red -> Common.Red
-    | `Sfq -> Common.Sfq
-    | `Drr -> Common.Drr
-    | `Taq ->
-        Common.Taq
-          (Common.taq_config ?guard_cap:guard ~capacity_bps:capacity
-             ~buffer_pkts ())
-    | `Taq_ac ->
-        Common.Taq
-          (Common.taq_config ~admission:true ?guard_cap:guard
-             ~capacity_bps:capacity ~buffer_pkts ())
+    resolve_queue ?guard_cap:guard ~capacity_bps:capacity ~buffer_pkts queue
   in
   let flows =
     Common.flows_for_fair_share ~capacity_bps:capacity ~fair_share_bps:fair_share
@@ -448,9 +448,40 @@ let sweep_cmd =
   let queues =
     Arg.(
       value
-      & opt (list queue_conv) [ `Droptail; `Taq ]
+      & opt (list queue_conv) []
       & info [ "queues" ] ~docv:"QUEUES"
-          ~doc:"Comma-separated disciplines (droptail, red, sfq, drr, taq, taq+ac).")
+          ~doc:
+            "Comma-separated disciplines (droptail, red, sfq, drr, choke, \
+             choked, codel, las, taq, taq+ac). Default: droptail,taq — or \
+             the full zoo with $(b,--matrix).")
+  in
+  let matrix =
+    Arg.(
+      value & flag
+      & info [ "matrix" ]
+          ~doc:
+            "Run the disc x tcp x workload cell matrix instead of the \
+             classic capacity/fair-share grid: every discipline crossed \
+             with every --tcps stack and --workloads scenario at the \
+             quick golden scale, one cell report line each, plus the \
+             merged per-cell Jain/drop-rate table. Faults (--faults) and \
+             the guard (--guard) stay axes of the cell key.")
+  in
+  let tcps =
+    Arg.(
+      value
+      & opt (list string) [ "newreno"; "cubic" ]
+      & info [ "tcps" ] ~docv:"TCPS"
+          ~doc:
+            "Matrix mode: comma-separated TCP profiles (newreno, sack, \
+             cubic).")
+  in
+  let workloads =
+    Arg.(
+      value
+      & opt (list string) [ "longmix"; "mice" ]
+      & info [ "workloads" ] ~docv:"WLS"
+          ~doc:"Matrix mode: comma-separated workloads (longmix, mice).")
   in
   let capacities =
     Arg.(
@@ -548,9 +579,9 @@ let sweep_cmd =
              They are reported but excluded from the exit status. Requires \
              --timeout-s (the hanging task is only bounded by the deadline).")
   in
-  let run queues capacities fair_shares reps rtt duration buffer_rtts guard
-      backend bg_flows fluid_dt jobs results_dir no_cache resume timeout_s
-      retries chaos check obs faults =
+  let run queues matrix tcps workloads capacities fair_shares reps rtt duration
+      buffer_rtts guard backend bg_flows fluid_dt jobs results_dir no_cache
+      resume timeout_s retries chaos check obs faults =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else if chaos && timeout_s = None then
       `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
@@ -559,6 +590,8 @@ let sweep_cmd =
         (false,
          "--resume needs the cache (restored points live there); drop \
           --no-cache")
+    else if matrix && backend <> `Packet then
+      `Error (false, "--matrix cells are packet-backend only; drop --backend")
     else begin
       match setup_check check with
       | Error msg -> `Error (false, msg)
@@ -569,14 +602,6 @@ let sweep_cmd =
       match setup_faults faults with
       | Error msg -> `Error (false, msg)
       | Ok fault_plan ->
-      let queue_tag = function
-        | `Droptail -> "droptail"
-        | `Red -> "red"
-        | `Sfq -> "sfq"
-        | `Drr -> "drr"
-        | `Taq -> "taq"
-        | `Taq_ac -> "taq+ac"
-      in
       (* The task key is the point's full identity: every parameter that
          affects the output is in it — including the canonical fault
          plan, so faulted and fault-free sweeps never share cache
@@ -595,7 +620,12 @@ let sweep_cmd =
       let backend_spec =
         { bk_kind = backend; bk_bg_flows = bg_flows; bk_fluid_dt = fluid_dt }
       in
-      let points =
+      (* A point is (key, run): the key is the full identity (cache key
+         and seed source), the closure computes the point writing its
+         report through Out. The classic grid and the matrix build
+         different point lists over the same orchestration below. *)
+      let classic_points () =
+        let queues = if queues = [] then [ `Droptail; `Taq ] else queues in
         List.concat_map
           (fun queue ->
             List.concat_map
@@ -621,11 +651,47 @@ let sweep_cmd =
                             buffer_rtts rep fault_suffix guard_suffix
                             backend_suffix
                         in
-                        (key, queue, capacity, fair_share, rep)))
+                        ( key,
+                          fun ~seed () ->
+                            sweep_point ~queue ~capacity ~fair_share ~rtt
+                              ~duration ~buffer_rtts ~guard
+                              ~backend:backend_spec ~rep ~seed () )))
                   fair_shares)
               capacities)
           queues
       in
+      let matrix_points () =
+        let discs =
+          if queues = [] then Matrix.disc_names else List.map queue_tag queues
+        in
+        List.concat_map
+          (fun disc ->
+            List.concat_map
+              (fun tcp ->
+                List.map
+                  (fun workload ->
+                    (match Matrix.validate ~disc ~tcp ~workload with
+                    | Ok () -> ()
+                    | Error msg -> failwith msg);
+                    let key =
+                      Printf.sprintf "matrix/v1/disc=%s/tcp=%s/wl=%s%s%s" disc
+                        tcp workload fault_suffix guard_suffix
+                    in
+                    ( key,
+                      fun ~seed () ->
+                        Matrix.run_cell ~disc ~tcp ~workload
+                          ?guard_cap:guard ~seed () ))
+                  workloads)
+              tcps)
+          discs
+      in
+      match
+        if matrix then
+          try Ok (matrix_points ()) with Failure msg -> Error msg
+        else Ok (classic_points ())
+      with
+      | Error msg -> `Error (false, msg)
+      | Ok points ->
       Harness.Pool.install_signal_cancellation ~label:"sweep" ();
       let cache = Harness.Cache.create ~dir:results_dir () in
       let hash key = Harness.Cache.key ~parts:[ key ] in
@@ -645,7 +711,7 @@ let sweep_cmd =
             Harness.Journal.finished (Harness.Journal.replay ~path:journal_path)
           in
           List.iter
-            (fun (key, _, _, _, _) ->
+            (fun (key, _) ->
               match Hashtbl.find_opt finished key with
               | None -> ()
               | Some digest -> (
@@ -680,7 +746,7 @@ let sweep_cmd =
          tasks to compute. *)
       let jobs_list =
         List.filter_map
-          (fun (key, queue, capacity, fair_share, rep) ->
+          (fun (key, run) ->
             if Hashtbl.mem restored key then None
             else
               match cached key with
@@ -688,16 +754,11 @@ let sweep_cmd =
               | None ->
                   Some
                     (Harness.Task.make ~key (fun ~seed ->
-                         Harness.Capture.text
-                           (sweep_point ~queue ~capacity ~fair_share ~rtt
-                              ~duration ~buffer_rtts ~guard
-                              ~backend:backend_spec ~rep ~seed))))
+                         Harness.Capture.text (run ~seed))))
           points
       in
       let point_set = Hashtbl.create 64 in
-      List.iter
-        (fun (key, _, _, _, _) -> Hashtbl.replace point_set key ())
-        points;
+      List.iter (fun (key, _) -> Hashtbl.replace point_set key ()) points;
       (* Deliberately unhealthy tasks: exercise the pool's quarantine
          path in-situ (CI runs this). They are excluded from the exit
          status below. *)
@@ -757,12 +818,18 @@ let sweep_cmd =
       in
       let hits = ref 0 and misses = ref 0 and failures = ref 0 in
       let n_restored = ref 0 and n_cancelled = ref 0 in
+      (* Outputs in points order, for the matrix report below. *)
+      let outputs = ref [] in
+      let emit key output =
+        outputs := (key, output) :: !outputs;
+        print_string output
+      in
       List.iter
-        (fun (key, _, _, _, _) ->
+        (fun (key, _) ->
           match Hashtbl.find_opt restored key with
           | Some (output, _) ->
               incr n_restored;
-              print_string output;
+              emit key output;
               Taq_util.Table.add_row summary [ key; "-"; "journal" ]
           | None -> (
               match Hashtbl.find_opt by_key key with
@@ -774,7 +841,7 @@ let sweep_cmd =
                   | Ok output ->
                       (* Already stored and journaled by on_done. *)
                       incr misses;
-                      print_string output;
+                      emit key output;
                       Taq_util.Table.add_row summary
                         [
                           key;
@@ -798,10 +865,39 @@ let sweep_cmd =
                   match Harness.Cache.find cache ~key:(hash key) with
                   | Some output ->
                       incr hits;
-                      print_string output;
+                      emit key output;
                       Taq_util.Table.add_row summary [ key; "-"; "cache hit" ]
                   | None -> assert false)))
         points;
+      (* The merged matrix report: one row per cell in matrix order,
+         with the per-cell fairness and drop-rate columns parsed back
+         out of the cell lines. Byte-identical at any --jobs because
+         the outputs above are. *)
+      if matrix then begin
+        let report =
+          Taq_util.Table.create
+            ~columns:
+              [ "disc"; "tcp"; "workload"; "jain"; "drop_rate"; "util";
+                "completed" ]
+        in
+        List.iter
+          (fun (_, output) ->
+            List.iter
+              (fun cell ->
+                let v k =
+                  match List.assoc_opt k cell with Some v -> v | None -> "?"
+                in
+                Taq_util.Table.add_row report
+                  [
+                    v "disc"; v "tcp"; v "wl"; v "jain"; v "drop_rate";
+                    v "util"; v "completed";
+                  ])
+              (Matrix.cells_of_output output))
+          (List.rev !outputs);
+        Printf.printf "\n-- matrix report (%d cell(s)) --\n\n"
+          (List.length points);
+        Taq_util.Table.print ~oc:stdout report
+      end;
       (* Chaos tasks are reported but never gate the exit status. *)
       List.iter
         (fun (r : string Harness.Pool.result) ->
@@ -832,7 +928,7 @@ let sweep_cmd =
            counters, which reflect real process history. *)
         let task_snaps =
           List.filter_map
-            (fun (key, _, _, _, _) ->
+            (fun (key, _) ->
               match Hashtbl.find_opt restored key with
               | Some (_, snap) -> Some snap
               | None ->
@@ -865,10 +961,11 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       ret
-        (const run $ queues $ capacities $ fair_shares $ reps $ rtt $ duration
-       $ buffer_rtts $ guard $ backend_arg $ bg_flows_arg $ fluid_dt_arg $ jobs
-       $ results_dir $ no_cache $ resume $ timeout_s $ retries $ chaos
-       $ check_arg $ obs_arg $ faults_arg))
+        (const run $ queues $ matrix $ tcps $ workloads $ capacities
+       $ fair_shares $ reps $ rtt $ duration $ buffer_rtts $ guard
+       $ backend_arg $ bg_flows_arg $ fluid_dt_arg $ jobs $ results_dir
+       $ no_cache $ resume $ timeout_s $ retries $ chaos $ check_arg $ obs_arg
+       $ faults_arg))
 
 (* --- faults --------------------------------------------------------------- *)
 
@@ -940,6 +1037,10 @@ let faults_cmd =
                   | `Red -> Common.Red
                   | `Sfq -> Common.Sfq
                   | `Drr -> Common.Drr
+                  | `Choke -> Common.Choke
+                  | `Choked -> Common.Choked
+                  | `Codel -> Common.Codel
+                  | `Las -> Common.Las
                   | `Taq | `Taq_ac -> Common.taq_marker
                 in
                 let tasks =
@@ -1141,10 +1242,6 @@ let replay_cmd =
     let trace = Taq_workload.Trace.load_csv ~path:trace_path in
     let q =
       match queue with
-      | `Droptail -> Common.Droptail
-      | `Red -> Common.Red
-      | `Sfq -> Common.Sfq
-      | `Drr -> Common.Drr
       | `Taq -> Common.taq_marker
       | `Taq_ac ->
           Common.Taq
@@ -1153,6 +1250,12 @@ let replay_cmd =
                  (Common.buffer_for_rtts ~capacity_bps:capacity ~rtt:0.3
                     ~rtts:1.0)
                ())
+      | spec ->
+          resolve_queue ~capacity_bps:capacity
+            ~buffer_pkts:
+              (Common.buffer_for_rtts ~capacity_bps:capacity ~rtt:0.3
+                 ~rtts:1.0)
+            spec
     in
     let p =
       {

@@ -436,6 +436,7 @@ let disc t =
     Disc.name = "taq";
     enqueue = (fun p -> enqueue t p);
     dequeue = (fun () -> dequeue t);
+    dequeue_drops = Disc.no_dequeue_drops;
     length = (fun () -> Taq_queues.total_packets t.queues);
     bytes = (fun () -> Taq_queues.total_bytes t.queues);
   }

@@ -9,13 +9,26 @@ module Taq_disc = Taq_core.Taq_disc
 module Check = Taq_check.Check
 module Obs = Taq_obs.Obs
 
-type queue = Droptail | Red | Sfq | Drr | Taq of Taq_config.t
+type queue =
+  | Droptail
+  | Red
+  | Sfq
+  | Drr
+  | Choke
+  | Choked
+  | Codel
+  | Las
+  | Taq of Taq_config.t
 
 let queue_name = function
   | Droptail -> "droptail"
   | Red -> "red"
   | Sfq -> "sfq"
   | Drr -> "drr"
+  | Choke -> "choke"
+  | Choked -> "choked"
+  | Codel -> "codel"
+  | Las -> "las"
   | Taq _ -> "taq"
 
 type env = {
@@ -75,6 +88,17 @@ let make_env ?check ?obs ?faults ?(backend = Packet) ~queue ~capacity_bps
           ~prng:(Taq_util.Prng.split prng) ()
     | Sfq -> Taq_queueing.Sfq.create ~capacity_pkts:buffer_pkts ()
     | Drr -> Taq_queueing.Drr.create ~capacity_pkts:buffer_pkts ()
+    | Choke ->
+        Taq_queueing.Choke.create ~capacity_pkts:buffer_pkts
+          ~prng:(Taq_util.Prng.split prng) ()
+    | Choked ->
+        Taq_queueing.Choked.create ~capacity_pkts:buffer_pkts
+          ~prng:(Taq_util.Prng.split prng) ()
+    | Codel ->
+        Taq_queueing.Codel.create ~capacity_pkts:buffer_pkts
+          ~now:(fun () -> Sim.now sim)
+          ()
+    | Las -> Taq_queueing.Las.create ~capacity_pkts:buffer_pkts ()
     | Taq config ->
         let t = Taq_disc.create ~check ~sim ~config () in
         taq := Some t;
@@ -92,7 +116,7 @@ let make_env ?check ?obs ?faults ?(backend = Packet) ~queue ~capacity_bps
      its PRNG split) entirely: their construction path is untouched. *)
   let fluid_filter, disc =
     match (backend, queue) with
-    | Hybrid _, (Droptail | Red | Sfq | Drr) ->
+    | Hybrid _, (Droptail | Red | Sfq | Drr | Choke | Choked | Codel | Las) ->
         let f, disc =
           Taq_fluid.Shared_loss.wrap ~prng:(Taq_util.Prng.split prng) disc
         in

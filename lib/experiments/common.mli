@@ -8,6 +8,10 @@ type queue =
   | Red  (** RED with Floyd's default parameters *)
   | Sfq
   | Drr  (** deficit round robin, the classic fair-queuing baseline *)
+  | Choke  (** CHOKe random peek-and-drop over RED thresholds *)
+  | Choked  (** stateless CHOKe variant with random push-out *)
+  | Codel  (** sojourn-time AQM, drops at dequeue *)
+  | Las  (** least-attained-service + per-flow fair dropping *)
   | Taq of Taq_core.Taq_config.t
 
 val queue_name : queue -> string

@@ -62,7 +62,7 @@ let run_trace p ~queue ~trace =
     match queue with
     | Common.Taq _ ->
         Common.Taq (Common.taq_config ~capacity_bps:p.capacity_bps ~buffer_pkts ())
-    | Common.Droptail | Common.Red | Common.Sfq | Common.Drr -> queue
+    | q -> q
   in
   let env =
     Common.make_env ~queue ~capacity_bps:p.capacity_bps ~buffer_pkts

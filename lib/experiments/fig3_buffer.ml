@@ -1,4 +1,5 @@
 type params = {
+  queue : Common.queue;
   capacity_bps : float;
   rtt : float;
   fair_shares_pkts_per_rtt : float list;
@@ -10,6 +11,7 @@ type params = {
 
 let default =
   {
+    queue = Common.Droptail;
     capacity_bps = 1000e3;
     rtt = 0.4;
     fair_shares_pkts_per_rtt = [ 0.25; 0.5; 1.0; 1.25 ];
@@ -46,9 +48,16 @@ let run_one p ~fair_share_pkts ~buffer_rtts ~seed =
     Common.buffer_for_rtts ~capacity_bps:p.capacity_bps ~rtt:p.rtt
       ~rtts:buffer_rtts
   in
+  let queue =
+    match p.queue with
+    | Common.Taq _ ->
+        Common.Taq
+          (Common.taq_config ~capacity_bps:p.capacity_bps ~buffer_pkts ())
+    | q -> q
+  in
   let env =
-    Common.make_env ~queue:Common.Droptail ~capacity_bps:p.capacity_bps
-      ~buffer_pkts ~slice:p.slice ~seed ()
+    Common.make_env ~queue ~capacity_bps:p.capacity_bps ~buffer_pkts
+      ~slice:p.slice ~seed ()
   in
   let flows =
     Common.spawn_long_flows env ~n ~rtt:p.rtt ~rtt_jitter:0.1 ()

@@ -71,7 +71,7 @@ let run_seed p ~queue ~capacity_bps ~fair_share_bps ~seed =
     match queue with
     | Common.Taq _ ->
         Common.Taq (Common.taq_config ~capacity_bps ~buffer_pkts ())
-    | Common.Droptail | Common.Red | Common.Sfq | Common.Drr -> queue
+    | q -> q
   in
   let env =
     Common.make_env ~queue ~capacity_bps ~buffer_pkts ~slice:p.slice ~seed ()

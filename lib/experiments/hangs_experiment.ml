@@ -46,7 +46,7 @@ let run_one p queue ~users ~conns =
     match queue with
     | Common.Taq _ ->
         Common.Taq (Common.taq_config ~capacity_bps:p.capacity_bps ~buffer_pkts ())
-    | Common.Droptail | Common.Red | Common.Sfq | Common.Drr -> queue
+    | q -> q
   in
   let env =
     Common.make_env ~queue ~capacity_bps:p.capacity_bps ~buffer_pkts

@@ -47,7 +47,7 @@ let run_one p queue mode =
     match queue with
     | Common.Taq _ ->
         Common.Taq (Common.taq_config ~capacity_bps:p.capacity_bps ~buffer_pkts ())
-    | Common.Droptail | Common.Red | Common.Sfq | Common.Drr -> queue
+    | q -> q
   in
   let env =
     Common.make_env ~queue ~capacity_bps:p.capacity_bps ~buffer_pkts

@@ -66,7 +66,7 @@ let resolve_queue p queue ~buffer_pkts =
   match queue with
   | Common.Taq _ ->
       Common.Taq (Common.taq_config ~capacity_bps:p.capacity_bps ~buffer_pkts ())
-  | Common.Droptail | Common.Red | Common.Sfq | Common.Drr -> queue
+  | q -> q
 
 (* Foreground Jain over the first fg_flows ids; both runs spawn the
    foreground cohort first, so the ids line up. *)

@@ -1,0 +1,154 @@
+module Slicer = Taq_metrics.Slicer
+module Tcp_config = Taq_tcp.Tcp_config
+module Out = Taq_util.Out
+
+(* Quick-scale cell geometry, mirroring the golden-test scenarios:
+   ~100 packets/s of service so 30 simulated seconds exercise slow
+   start, steady state and plenty of drops in well under a wall
+   second. *)
+let capacity_bps = 400e3
+let buffer_pkts = 25
+let rtt = 0.1
+let horizon = 30.0
+let n_long = 12
+let n_elephants = 4
+let n_mice = 24
+let mouse_segments = 8
+let mouse_start i = 3.0 +. (0.9 *. float_of_int i)
+
+let disc_names =
+  [ "droptail"; "red"; "sfq"; "drr"; "choke"; "choked"; "codel"; "las"; "taq" ]
+
+let workload_names = [ "longmix"; "mice" ]
+
+let tcp_names = Tcp_config.profile_names
+
+let queue_of_disc ?guard_cap = function
+  | "droptail" -> Some Common.Droptail
+  | "red" -> Some Common.Red
+  | "sfq" -> Some Common.Sfq
+  | "drr" -> Some Common.Drr
+  | "choke" -> Some Common.Choke
+  | "choked" -> Some Common.Choked
+  | "codel" -> Some Common.Codel
+  | "las" -> Some Common.Las
+  | "taq" ->
+      Some
+        (Common.Taq (Common.taq_config ?guard_cap ~capacity_bps ~buffer_pkts ()))
+  | "taq+ac" ->
+      Some
+        (Common.Taq
+           (Common.taq_config ~admission:true ?guard_cap ~capacity_bps
+              ~buffer_pkts ()))
+  | _ -> None
+
+let validate ~disc ~tcp ~workload =
+  if queue_of_disc disc = None then
+    Error (Printf.sprintf "unknown matrix disc %S" disc)
+  else if Tcp_config.of_name tcp = None then
+    Error
+      (Printf.sprintf "unknown tcp profile %S (known: %s)" tcp
+         (String.concat ", " tcp_names))
+  else if not (List.mem workload workload_names) then
+    Error
+      (Printf.sprintf "unknown workload %S (known: %s)" workload
+         (String.concat ", " workload_names))
+  else Ok ()
+
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let sumsq = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if sumsq <= 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+  end
+
+let cell_line ~disc ~tcp ~workload ~jain ~drop_rate ~util ~completed =
+  Printf.sprintf
+    "cell disc=%s tcp=%s wl=%s jain=%.6f drop_rate=%.6f util=%.6f completed=%d"
+    disc tcp workload jain drop_rate util completed
+
+let run_longmix env ~tcp =
+  let flows = Common.spawn_long_flows env ~tcp ~n:n_long ~rtt ~rtt_jitter:0.1 () in
+  Common.run env ~until:horizon;
+  let j = Slicer.long_term_jain env.Common.slicer ~flows in
+  (j, n_long)
+
+let run_mice env ~tcp =
+  ignore
+    (Common.spawn_long_flows env ~tcp ~n:n_elephants ~rtt ~rtt_jitter:0.1 ());
+  (* Mice keep the SYN handshake on (TAQ's new-flow logic keys off
+     connection starts, as in the short-flow figure); elephants follow
+     the long-flow convention of starting open. *)
+  let mouse_tcp = { tcp with Tcp_config.use_syn = true } in
+  let finished = Array.make n_mice nan in
+  for i = 0 to n_mice - 1 do
+    ignore
+      (Common.spawn_finite_flow env ~tcp:mouse_tcp ~segments:mouse_segments
+         ~rtt ~at:(mouse_start i)
+         ~on_complete:(fun time -> finished.(i) <- time)
+         ())
+  done;
+  Common.run env ~until:horizon;
+  (* The mice-vs-elephants index: Jain over completion *rates*, so a
+     mouse stuck behind an elephant's standing queue (or in timeout
+     backoff) drags the index down even though it moved the same
+     bytes. A mouse that never finished is scored as if it completed
+     at the horizon. *)
+  let rates =
+    Array.init n_mice (fun i ->
+        let fct =
+          if Float.is_nan finished.(i) then horizon -. mouse_start i
+          else finished.(i) -. mouse_start i
+        in
+        1.0 /. Float.max fct 1e-9)
+  in
+  let completed = ref 0 in
+  Array.iter (fun t -> if not (Float.is_nan t) then incr completed) finished;
+  (jain rates, !completed)
+
+let run_cell ~disc ~tcp ~workload ?guard_cap ~seed () =
+  (match validate ~disc ~tcp ~workload with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let queue =
+    match queue_of_disc ?guard_cap disc with
+    | Some q -> q
+    | None -> assert false
+  in
+  let profile =
+    match Tcp_config.of_name tcp with Some t -> t | None -> assert false
+  in
+  let elephant_tcp = { profile with Tcp_config.use_syn = false } in
+  let env =
+    Common.make_env ~queue ~capacity_bps ~buffer_pkts ~slice:1.0 ~seed ()
+  in
+  let j, completed =
+    match workload with
+    | "longmix" -> run_longmix env ~tcp:elephant_tcp
+    | "mice" -> run_mice env ~tcp:elephant_tcp
+    | _ -> assert false
+  in
+  Out.printf "%s\n"
+    (cell_line ~disc ~tcp ~workload ~jain:j
+       ~drop_rate:(Common.measured_loss_rate env)
+       ~util:(Common.utilization env) ~completed)
+
+let cells_of_output text =
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun line ->
+      if String.length line >= 5 && String.sub line 0 5 = "cell " then
+        Some
+          (String.split_on_char ' ' line
+          |> List.filter_map (fun field ->
+                 match String.index_opt field '=' with
+                 | None -> None
+                 | Some i ->
+                     Some
+                       ( String.sub field 0 i,
+                         String.sub field (i + 1)
+                           (String.length field - i - 1) )))
+      else None)
+    lines

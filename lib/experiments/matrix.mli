@@ -1,0 +1,53 @@
+(** The sweep matrix: every queue discipline crossed with every TCP
+    stack and workload, one golden-scalar cell per combination.
+
+    A cell is a quick-scale deterministic simulation named by strings
+    ([disc], [tcp], [workload]) so the CLI, the cache keys, the golden
+    files and CI all speak the same vocabulary. Cells print exactly one
+    [cell ...] report line of key=value pairs through {!Taq_util.Out},
+    which the sweep driver parses back into the merged per-cell
+    Jain/drop-rate table.
+
+    Workloads:
+    - ["longmix"]: 12 long-lived flows sharing the bottleneck; [jain]
+      is the long-term Jain index over all of them.
+    - ["mice"]: 4 elephants plus a staggered cohort of 24 eight-segment
+      mice; [jain] is the Jain index over the {e mice completion
+      rates} (1/FCT, a stalled mouse scored at the horizon) — the
+      mice-vs-elephants predictability index the paper motivates.
+      [completed] counts mice that finished inside the horizon.
+
+    Everything is seeded: the cell's PRNG seed comes from the sweep
+    task key, so reports are byte-identical at any [--jobs]. *)
+
+val disc_names : string list
+(** The full zoo, in canonical order: droptail, red, sfq, drr, choke,
+    choked, codel, las, taq. (taq+ac is accepted by {!run_cell} but
+    not part of the default matrix.) *)
+
+val workload_names : string list
+(** ["longmix"; "mice"]. *)
+
+val tcp_names : string list
+(** {!Taq_tcp.Tcp_config.profile_names}: newreno, sack, cubic. *)
+
+val validate :
+  disc:string -> tcp:string -> workload:string -> (unit, string) result
+(** Check the cell coordinates before building task keys. *)
+
+val run_cell :
+  disc:string ->
+  tcp:string ->
+  workload:string ->
+  ?guard_cap:int ->
+  seed:int ->
+  unit ->
+  unit
+(** Run one cell and print its [cell ...] report line via
+    {!Taq_util.Out}. An ambient fault plan (the CLI's [--faults]) and
+    ambient check/obs policies apply exactly as in every other
+    experiment. @raise Failure on unknown coordinates. *)
+
+val cells_of_output : string -> (string * string) list list
+(** Parse the [cell ...] lines out of captured cell/report text: one
+    assoc list of key=value fields per cell, in output order. *)

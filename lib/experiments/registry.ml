@@ -20,8 +20,7 @@ let fig2 ~full =
   let p = if full then Fig_fairness.default else Fig_fairness.quick in
   Fig_fairness.print (Fig_fairness.run p)
 
-let fig3 ~full =
-  let p = if full then Fig3_buffer.default else Fig3_buffer.quick in
+let fig3_body p =
   let rows = Fig3_buffer.run p in
   Fig3_buffer.print rows;
   Out.newline ();
@@ -38,6 +37,12 @@ let fig3 ~full =
                 Printf.sprintf "JFI>=%.2f not reached within the sweep" target))
         (Fig3_buffer.required_buffer rows ~target_jain:target))
     [ 0.6; 0.7; 0.8 ]
+
+let fig3 ~full = fig3_body (if full then Fig3_buffer.default else Fig3_buffer.quick)
+
+let codel_fig3 ~full =
+  let base = if full then Fig3_buffer.default else Fig3_buffer.quick in
+  fig3_body { base with Fig3_buffer.queue = Common.Codel }
 
 let hangs ~full =
   let p = if full then Hangs_experiment.default else Hangs_experiment.quick in
@@ -182,6 +187,11 @@ let targets =
       name = "fig3";
       description = "droptail buffer needed to restore fairness";
       run = fig3;
+    };
+    {
+      name = "codel-fig3";
+      description = "fig3's buffer-vs-fairness sweep rerun under CoDel";
+      run = codel_fig3;
     };
     {
       name = "hangs";

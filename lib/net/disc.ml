@@ -2,9 +2,14 @@ type t = {
   name : string;
   enqueue : Packet.t -> Packet.t list;
   dequeue : unit -> Packet.t option;
+  dequeue_drops : unit -> Packet.t list;
   length : unit -> int;
   bytes : unit -> int;
 }
+
+(* One shared closure for every discipline that never drops at
+   dequeue: the field read costs nothing and allocates nothing. *)
+let no_dequeue_drops () = []
 
 (* Backed by a ring buffer rather than [Stdlib.Queue]: Queue allocates
    a 3-word cell per push and this FIFO sits on the per-packet hot
@@ -51,6 +56,7 @@ let fifo_of_queue ~name ~capacity_pkts () =
     name;
     enqueue;
     dequeue;
+    dequeue_drops = no_dequeue_drops;
     length = (fun () -> !len);
     bytes = (fun () -> !bytes);
   }

@@ -10,7 +10,14 @@
     this is either [[]] (accepted) or [[the offered packet]]; push-out
     schemes such as TAQ may accept the offered packet and evict a
     different one. The caller (the {!Link}) accounts for all returned
-    drops. *)
+    drops.
+
+    Disciplines that decide drops at service time (CoDel-style
+    drop-on-dequeue AQMs) remove those victims from the queue inside
+    [dequeue] and surface them through [dequeue_drops]: the caller
+    must collect (and account) the stash after every [dequeue] call.
+    Queue-time disciplines return [[]] from a shared closure, so the
+    extra field costs nothing on their hot path. *)
 
 type t = {
   name : string;
@@ -18,9 +25,17 @@ type t = {
       (** offer a packet; result = packets dropped by this action *)
   dequeue : unit -> Packet.t option;
       (** next packet to transmit, or [None] when empty *)
+  dequeue_drops : unit -> Packet.t list;
+      (** packets the discipline discarded during [dequeue] calls since
+          the last [dequeue_drops] call (already removed from
+          [length]/[bytes]); [[]] for queue-time disciplines *)
   length : unit -> int;  (** packets queued *)
   bytes : unit -> int;  (** bytes queued *)
 }
+
+val no_dequeue_drops : unit -> Packet.t list
+(** The shared always-empty [dequeue_drops] implementation used by
+    every queue-time discipline. *)
 
 val fifo_of_queue : name:string -> capacity_pkts:int -> unit -> t
 (** A plain bounded FIFO (tail-drop); exposed for building disciplines

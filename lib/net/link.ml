@@ -82,12 +82,16 @@ type t = {
   mutable chk_bytes_accepted : int;
   mutable chk_pushout : int;
   mutable chk_bytes_pushout : int;
+  mutable chk_dqdrop : int;
+      (** packets the discipline discarded at dequeue time (CoDel-style) *)
+  mutable chk_bytes_dqdrop : int;
   mutable chk_tx_size : int;  (** size of the packet on the wire, if busy *)
 }
 
 (* Packet conservation: every packet accepted into the queue is either
    fully transmitted, on the wire right now, evicted by a push-out
-   discipline, or still queued — and the same must hold for bytes. *)
+   discipline, discarded at dequeue time, or still queued — and the
+   same must hold for bytes. *)
 let verify_conservation t ~where =
   let qlen = t.disc.Disc.length () in
   let qbytes = t.disc.Disc.bytes () in
@@ -101,21 +105,25 @@ let verify_conservation t ~where =
         where qlen qbytes);
   let in_tx = if t.busy then 1 else 0 in
   let lhs = t.chk_accepted in
-  let rhs = t.transmitted + in_tx + t.chk_pushout + qlen in
+  let rhs = t.transmitted + in_tx + t.chk_pushout + t.chk_dqdrop + qlen in
   Check.require t.check Check.Net (lhs = rhs) (fun () ->
       Printf.sprintf
         "%s: packet conservation broken: accepted=%d <> transmitted=%d + \
-         in_tx=%d + pushout=%d + queued=%d"
-        where t.chk_accepted t.transmitted in_tx t.chk_pushout qlen);
+         in_tx=%d + pushout=%d + dqdrop=%d + queued=%d"
+        where t.chk_accepted t.transmitted in_tx t.chk_pushout t.chk_dqdrop
+        qlen);
   let in_tx_bytes = if t.busy then t.chk_tx_size else 0 in
   let blhs = t.chk_bytes_accepted in
-  let brhs = t.bytes_transmitted + in_tx_bytes + t.chk_bytes_pushout + qbytes in
+  let brhs =
+    t.bytes_transmitted + in_tx_bytes + t.chk_bytes_pushout
+    + t.chk_bytes_dqdrop + qbytes
+  in
   Check.require t.check Check.Net (blhs = brhs) (fun () ->
       Printf.sprintf
         "%s: byte conservation broken: accepted=%d <> transmitted=%d + \
-         in_tx=%d + pushout=%d + queued=%d"
+         in_tx=%d + pushout=%d + dqdrop=%d + queued=%d"
         where t.chk_bytes_accepted t.bytes_transmitted in_tx_bytes
-        t.chk_bytes_pushout qbytes)
+        t.chk_bytes_pushout t.chk_bytes_dqdrop qbytes)
 
 (* Top-level listener iteration: [List.iter (fun f -> f p) ...] would
    allocate the closure on every call, and these run per packet. *)
@@ -167,16 +175,44 @@ let ring_pop t dummy =
   t.ring_len <- t.ring_len - 1;
   p
 
+(* Drops the discipline made while serving [dequeue] (CoDel-style):
+   collected after every dequeue and accounted exactly like enqueue-time
+   drops — stats, obs, listeners, conservation bucket, pool release. *)
+let account_dequeue_drops t =
+  match t.disc.Disc.dequeue_drops () with
+  | [] -> ()
+  | dropped ->
+      let n_dropped = List.length dropped in
+      t.dropped <- t.dropped + n_dropped;
+      if Obs.enabled t.obs then Obs.add t.obs Obs.Link_dropped n_dropped;
+      if Obs.tracing t.obs then
+        List.iter
+          (fun (d : Packet.t) ->
+            Obs.instant t.obs ~name:"drop" ~cat:"drop" ~flow:d.flow
+              ~ts_s:(Sim.now t.sim) ())
+          dropped;
+      List.iter (fun d -> notify_all t.drop_listeners d) dropped;
+      if Check.on t.check Check.Net then
+        List.iter
+          (fun (d : Packet.t) ->
+            t.chk_dqdrop <- t.chk_dqdrop + 1;
+            t.chk_bytes_dqdrop <- t.chk_bytes_dqdrop + d.size)
+          dropped;
+      (match t.release with
+      | Some release -> List.iter release dropped
+      | None -> ())
+
 let start_transmission t =
   if (not t.busy) && t.up then begin
-    match t.disc.Disc.dequeue () with
+    (match t.disc.Disc.dequeue () with
     | None -> ()
     | Some p ->
         t.busy <- true;
         if Check.on t.check Check.Net then t.chk_tx_size <- p.Packet.size;
         t.tx_pkt <- p;
         t.tx_dt.(0) <- tx_time t p;
-        ignore (Sim.schedule_after t.sim ~delay:t.tx_dt.(0) t.tx_done)
+        ignore (Sim.schedule_after t.sim ~delay:t.tx_dt.(0) t.tx_done));
+    account_dequeue_drops t
   end
 
 (* Same sequence of effects — and crucially the same sequence of
@@ -246,6 +282,8 @@ let create ?check ?obs ?release ~sim ~capacity_bps ~prop_delay ~disc ~deliver
       chk_bytes_accepted = 0;
       chk_pushout = 0;
       chk_bytes_pushout = 0;
+      chk_dqdrop = 0;
+      chk_bytes_dqdrop = 0;
       chk_tx_size = 0;
     }
   in

@@ -53,12 +53,18 @@ let target_to_json t =
       ("gc_minor_words", Json.Num t.gc_minor_words);
     ]
 
+(* Targets serialize sorted by name (counters/gauges already are), so
+   a regenerated BASELINE.json diffs cleanly against the committed one
+   regardless of registry run order. *)
 let to_json b =
+  let sorted =
+    List.sort (fun a b -> String.compare a.name b.name) b.targets
+  in
   Json.Obj
     [
       ("scale", Json.Str b.scale);
       ("jobs", Json.Num (float_of_int b.jobs));
-      ("targets", Json.List (List.map target_to_json b.targets));
+      ("targets", Json.List (List.map target_to_json sorted));
     ]
 
 let assoc_of_json j =

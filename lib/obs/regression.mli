@@ -25,6 +25,9 @@ type bench = { scale : string; jobs : int; targets : target list }
 val make_target :
   name:string -> seconds:float -> snapshot:Obs.snapshot -> target
 
+(** Targets are emitted sorted by name (their counters and gauges are
+    already name-sorted), making serialized documents canonical: two
+    baselines diff cleanly whatever order the targets ran in. *)
 val to_json : bench -> Json.t
 val of_string : string -> (bench, string) result
 val load : path:string -> (bench, string) result

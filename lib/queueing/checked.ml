@@ -61,23 +61,47 @@ let wrap ~check (inner : Disc.t) =
       verify check inner m ~op:"enqueue";
       drops
     in
+    (* Dequeue-time drops must leave the shadow model at the moment the
+       inner discipline discards them (they are already gone from its
+       length/bytes), so we collect after every dequeue, account them,
+       and re-expose the stash through our own [dequeue_drops]. *)
+    let stash = ref [] in
+    let collect_dequeue_drops () =
+      match inner.Disc.dequeue_drops () with
+      | [] -> ()
+      | reaped ->
+          List.iter
+            (fun (d : Packet.t) ->
+              model_remove check inner m ~op:"dequeue_drop" d)
+            reaped;
+          stash := !stash @ reaped
+    in
     let dequeue () =
       match inner.Disc.dequeue () with
       | None ->
+          collect_dequeue_drops ();
           Check.require check Check.Queueing (m.pkts = 0) (fun () ->
               Printf.sprintf
                 "%s/dequeue: returned None with %d packets still queued"
                 inner.Disc.name m.pkts);
           None
       | Some p ->
+          collect_dequeue_drops ();
           model_remove check inner m ~op:"dequeue" p;
           verify check inner m ~op:"dequeue";
           Some p
+    in
+    let dequeue_drops () =
+      collect_dequeue_drops ();
+      let r = !stash in
+      stash := [];
+      r
     in
     {
       Disc.name = inner.Disc.name;
       enqueue;
       dequeue;
+      dequeue_drops;
       length = inner.Disc.length;
       bytes = inner.Disc.bytes;
     }

@@ -131,6 +131,7 @@ let create ?(quantum_bytes = 500) ?(max_flows = 1024) ~capacity_pkts () =
     Taq_net.Disc.name = "drr";
     enqueue;
     dequeue;
+    dequeue_drops = Taq_net.Disc.no_dequeue_drops;
     length = (fun () -> st.total);
     bytes = (fun () -> st.bytes);
   }

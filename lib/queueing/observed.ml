@@ -40,10 +40,18 @@ let wrap ~obs (inner : Disc.t) =
       (match r with None -> () | Some _ -> incr deq);
       r
     in
+    let dequeue_drops () =
+      match inner.Disc.dequeue_drops () with
+      | [] -> []
+      | reaped ->
+          drop := !drop + List.length reaped;
+          reaped
+    in
     {
       Disc.name = inner.Disc.name;
       enqueue;
       dequeue;
+      dequeue_drops;
       length = inner.Disc.length;
       bytes = inner.Disc.bytes;
     }

@@ -1,0 +1,100 @@
+module Packet = Taq_net.Packet
+
+type t = {
+  buf : Packet.t option array;  (* power-of-two size, fixed at create *)
+  mask : int;
+  mutable head : int;  (* first slot in use (may be a tombstone) *)
+  mutable span : int;  (* slots in use, tombstones included *)
+  mutable live : int;
+  mutable bytes : int;
+}
+
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (2 * k) in
+  go 16
+
+let create ~capacity_pkts =
+  if capacity_pkts <= 0 then invalid_arg "Peek_ring.create";
+  let n = next_pow2 capacity_pkts in
+  { buf = Array.make n None; mask = n - 1; head = 0; span = 0; live = 0;
+    bytes = 0 }
+
+let length t = t.live
+
+let bytes t = t.bytes
+
+(* Rewrite the live packets contiguously from index 0, erasing the
+   tombstone debt. Runs only when the span hits the array size with
+   dead slots inside, so the cost is amortized over the removals that
+   created those tombstones. *)
+let compact t =
+  let scratch = Array.make t.live None in
+  let j = ref 0 in
+  for i = 0 to t.span - 1 do
+    match t.buf.((t.head + i) land t.mask) with
+    | Some _ as s ->
+        scratch.(!j) <- s;
+        incr j
+    | None -> ()
+  done;
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  Array.blit scratch 0 t.buf 0 t.live;
+  t.head <- 0;
+  t.span <- t.live
+
+let push t (p : Packet.t) =
+  if t.live >= Array.length t.buf then invalid_arg "Peek_ring.push: full";
+  if t.span = Array.length t.buf then compact t;
+  t.buf.((t.head + t.span) land t.mask) <- Some p;
+  t.span <- t.span + 1;
+  t.live <- t.live + 1;
+  t.bytes <- t.bytes + p.Packet.size
+
+let rec pop t =
+  if t.live = 0 then begin
+    t.span <- 0;
+    None
+  end
+  else begin
+    let i = t.head in
+    let slot = t.buf.(i) in
+    t.head <- (i + 1) land t.mask;
+    t.span <- t.span - 1;
+    match slot with
+    | None -> pop t
+    | Some p ->
+        t.buf.(i) <- None;
+        t.live <- t.live - 1;
+        t.bytes <- t.bytes - p.Packet.size;
+        Some p
+  end
+
+let peek_random t ~prng =
+  if t.live = 0 then invalid_arg "Peek_ring.peek_random: empty";
+  (* One draw over the span, then probe forward (wrapping within the
+     span) to the next live slot: uniform over live packets when there
+     are no tombstones, and deterministically seeded always. *)
+  let r = Taq_util.Prng.int prng t.span in
+  let rec probe off steps =
+    if steps = 0 then invalid_arg "Peek_ring.peek_random: corrupt ring"
+    else
+      let i = (t.head + off) land t.mask in
+      match t.buf.(i) with
+      | Some _ -> i
+      | None -> probe ((off + 1) mod t.span) (steps - 1)
+  in
+  probe r t.span
+
+let get t i =
+  match t.buf.(i) with
+  | Some p -> p
+  | None -> invalid_arg "Peek_ring.get: dead slot"
+
+let remove t i =
+  match t.buf.(i) with
+  | None -> invalid_arg "Peek_ring.remove: dead slot"
+  | Some p ->
+      t.buf.(i) <- None;
+      t.live <- t.live - 1;
+      t.bytes <- t.bytes - p.Packet.size;
+      p

@@ -1,0 +1,41 @@
+(** A FIFO packet ring with O(1) random peek and mid-queue removal,
+    the backing store CHOKe-family disciplines need: arrivals append at
+    the tail, service pops from the head, and the drop decision may
+    inspect (and evict) a uniformly random queued packet.
+
+    Mid-queue removals leave tombstones; [pop] skips them and the ring
+    compacts in place when the tombstone debt fills the array, so the
+    memory footprint stays bounded by the next power of two above the
+    packet capacity. All randomness comes from the caller's PRNG, so
+    behaviour is deterministic under a pinned seed. *)
+
+type t
+
+val create : capacity_pkts:int -> t
+(** [capacity_pkts] must be positive; the ring never holds more live
+    packets than this (the caller enforces the admission decision). *)
+
+val length : t -> int
+(** Live packets queued (tombstones excluded). *)
+
+val bytes : t -> int
+(** Live bytes queued. *)
+
+val push : t -> Taq_net.Packet.t -> unit
+(** Append at the tail. @raise Invalid_argument when already at
+    capacity — admission is the discipline's job, not the ring's. *)
+
+val pop : t -> Taq_net.Packet.t option
+(** Remove and return the head packet, skipping tombstones. *)
+
+val peek_random : t -> prng:Taq_util.Prng.t -> int
+(** A slot id for a uniformly random live packet (one PRNG draw plus a
+    deterministic forward probe over tombstones). Valid only until the
+    next mutation. @raise Invalid_argument when empty. *)
+
+val get : t -> int -> Taq_net.Packet.t
+(** The packet in a slot returned by [peek_random]. *)
+
+val remove : t -> int -> Taq_net.Packet.t
+(** Evict the packet in a slot returned by [peek_random], leaving a
+    tombstone. *)

@@ -120,6 +120,7 @@ let create ?params ~capacity_pkts ~now ~prng () =
     Taq_net.Disc.name = "red";
     enqueue;
     dequeue;
+    dequeue_drops = Taq_net.Disc.no_dequeue_drops;
     length = (fun () -> Queue.length st.q);
     bytes = (fun () -> st.bytes);
   }

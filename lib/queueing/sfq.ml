@@ -88,6 +88,7 @@ let create ?(buckets = 128) ?(perturb_seed = 0) ~capacity_pkts () =
     Taq_net.Disc.name = "sfq";
     enqueue;
     dequeue;
+    dequeue_drops = Taq_net.Disc.no_dequeue_drops;
     length = (fun () -> st.total);
     bytes = (fun () -> st.bytes);
   }

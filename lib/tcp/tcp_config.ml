@@ -45,6 +45,14 @@ let default =
 
 let cubic = { default with growth = Cubic; init_cwnd = 10.0 }
 
+let sack = { default with variant = Sack }
+
+let profiles = [ ("newreno", default); ("sack", sack); ("cubic", cubic) ]
+
+let of_name name = List.assoc_opt (String.lowercase_ascii name) profiles
+
+let profile_names = List.map fst profiles
+
 let make ?(variant = default.variant) ?(growth = default.growth)
     ?(mss = default.mss)
     ?(header_bytes = default.header_bytes) ?(ack_bytes = default.ack_bytes)

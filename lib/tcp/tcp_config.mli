@@ -55,6 +55,19 @@ val cubic : t
 (** {!default} with CUBIC growth and the modern initial window of 10 —
     the configuration the paper's introduction describes. *)
 
+val sack : t
+(** {!default} with scoreboard-driven SACK recovery. *)
+
+val profiles : (string * t) list
+(** The named stacks the sweep matrix crosses disciplines against:
+    ["newreno"], ["sack"], ["cubic"]. *)
+
+val of_name : string -> t option
+(** Look up a profile by (case-insensitive) name. *)
+
+val profile_names : string list
+(** Names in {!profiles} order. *)
+
 val make :
   ?variant:variant ->
   ?growth:growth ->

@@ -151,6 +151,7 @@ let test_checked_catches_lying_disc () =
           (* losing the packet silently: no drop reported *)
           []);
       dequeue = (fun () -> Queue.take_opt q);
+      dequeue_drops = Disc.no_dequeue_drops;
       length = (fun () -> Queue.length q);
       bytes = (fun () -> Queue.fold (fun acc (p : Packet.t) -> acc + p.size) 0 q);
     }

@@ -1,0 +1,141 @@
+(* Per-cell golden regression for the sweep matrix.
+
+   Every cell of the default `taq_sim sweep --matrix` cross-product
+   (the full disc zoo x the default TCP pair x both workloads) is
+   recomputed here with exactly the seed the sweep harness would
+   derive from its task key, and its one-line report is compared
+   byte-for-byte against the committed golden file
+   [test/goldens/matrix.expected]. A dynamics drift in any
+   discipline, TCP variant or workload therefore shows up as an
+   explicit string diff on a named cell, not as a silent change in a
+   merged report.
+
+   Regenerate after a reviewed behaviour change with
+
+     GOLDEN_REGEN=1 dune exec test/test_matrix.exe \
+       > test/goldens/matrix.expected
+
+   The regen output is exactly the file contents (one cell line per
+   row, canonical matrix order), which is what lets CI diff a fresh
+   regeneration against the committed file to catch drift. *)
+
+module Matrix = Taq_experiments.Matrix
+
+(* The CLI's default matrix TCP axis (sweep --matrix without --tcps). *)
+let tcps = [ "newreno"; "cubic" ]
+
+let cells =
+  List.concat_map
+    (fun disc ->
+      List.concat_map
+        (fun tcp ->
+          List.map (fun workload -> (disc, tcp, workload)) Matrix.workload_names)
+        tcps)
+    Matrix.disc_names
+
+(* Must mirror the sweep driver's task key exactly (no faults, no
+   guard): the key is the seed source, so a key drift here would
+   silently decouple these goldens from what `sweep --matrix`
+   actually runs. *)
+let key ~disc ~tcp ~workload =
+  Printf.sprintf "matrix/v1/disc=%s/tcp=%s/wl=%s" disc tcp workload
+
+let compute_line ~disc ~tcp ~workload =
+  let seed = Taq_harness.Task.seed_of_key (key ~disc ~tcp ~workload) in
+  String.trim
+    (Taq_harness.Capture.text (fun () ->
+         Matrix.run_cell ~disc ~tcp ~workload ~seed ()))
+
+(* Under `dune runtest` the action runs in _build/default/test with
+   the goldens copied alongside; under `dune exec` from the project
+   root the source tree path applies. *)
+let expected_file =
+  if Sys.file_exists "goldens/matrix.expected" then "goldens/matrix.expected"
+  else "test/goldens/matrix.expected"
+
+let expected_lines =
+  lazy
+    (let ic = open_in expected_file in
+     let rec loop acc =
+       match input_line ic with
+       | line -> loop (line :: acc)
+       | exception End_of_file ->
+           close_in ic;
+           List.rev acc
+     in
+     loop []
+     |> List.filter (fun l -> String.trim l <> ""))
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> Alcotest.failf "golden cell line missing field %S" name
+
+(* (disc, tcp, workload) -> committed cell line. *)
+let expected_table =
+  lazy
+    (List.map
+       (fun line ->
+         match Matrix.cells_of_output line with
+         | [ fields ] ->
+             ((field fields "disc", field fields "tcp", field fields "wl"), line)
+         | _ -> Alcotest.failf "unparseable golden line: %s" line)
+       (Lazy.force expected_lines))
+
+let check_cell (disc, tcp, workload) () =
+  let expected =
+    match List.assoc_opt (disc, tcp, workload) (Lazy.force expected_table) with
+    | Some line -> line
+    | None ->
+        Alcotest.failf "cell %s/%s/%s missing from %s" disc tcp workload
+          expected_file
+  in
+  Alcotest.(check string)
+    "cell line" expected
+    (compute_line ~disc ~tcp ~workload)
+
+(* The committed report must itself witness the paper's headline:
+   least-attained service with per-flow fair dropping keeps mice
+   completion rates far more predictable than droptail. This reads
+   the golden file, not a fresh run, so the claim is pinned to what
+   reviewers actually see in the diff. *)
+let check_las_beats_droptail tcp () =
+  let table = Lazy.force expected_table in
+  let jain disc =
+    match List.assoc_opt (disc, tcp, "mice") table with
+    | Some line -> (
+        match Matrix.cells_of_output line with
+        | [ fields ] -> float_of_string (field fields "jain")
+        | _ -> Alcotest.failf "unparseable golden line: %s" line)
+    | None -> Alcotest.failf "missing %s mice cell for tcp=%s" disc tcp
+  in
+  let las = jain "las" and droptail = jain "droptail" in
+  if not (las > droptail) then
+    Alcotest.failf "las mice jain %.6f not above droptail %.6f (tcp=%s)" las
+      droptail tcp
+
+let () =
+  if Sys.getenv_opt "GOLDEN_REGEN" <> None then
+    List.iter
+      (fun (disc, tcp, workload) ->
+        print_endline (compute_line ~disc ~tcp ~workload))
+      cells
+  else
+    Alcotest.run "taq_matrix"
+      [
+        ( "matrix cells",
+          List.map
+            (fun ((disc, tcp, workload) as cell) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s/%s/%s" disc tcp workload)
+                `Slow (check_cell cell))
+            cells );
+        ( "mice predictability ordering",
+          List.map
+            (fun tcp ->
+              Alcotest.test_case
+                (Printf.sprintf "las beats droptail (tcp=%s)" tcp)
+                `Quick
+                (check_las_beats_droptail tcp))
+            tcps );
+      ]

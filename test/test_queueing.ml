@@ -255,6 +255,152 @@ let prop_sfq_never_exceeds_capacity =
           d.Disc.length () <= cap)
         ops)
 
+(* --- the AQM zoo: CHOKe / CHOKeD / CoDel / LAS --------------------------- *)
+
+(* Pinned-seed determinism for the randomized CHOKe family: replaying
+   the same operation sequence against a fresh disc with the same PRNG
+   seed must reproduce the exact transcript (every victim, every
+   served packet), or the discipline has picked up a hidden source of
+   nondeterminism and sweep caching / jobs-independence breaks. *)
+let transcript mk_disc ~seed ops =
+  let prng = Taq_util.Prng.create ~seed in
+  let d = mk_disc ~prng in
+  let seq = ref 0 in
+  List.concat_map
+    (fun (is_enq, flow) ->
+      if is_enq then begin
+        incr seq;
+        d.Disc.enqueue (mk_pkt ~flow ~seq:!seq ())
+        |> List.map (fun (v : Packet.t) ->
+               Printf.sprintf "drop:%d.%d" v.Packet.flow v.Packet.seq)
+      end
+      else
+        match d.Disc.dequeue () with
+        | Some p -> [ Printf.sprintf "serve:%d.%d" p.Packet.flow p.Packet.seq ]
+        | None -> [ "serve:-" ])
+    ops
+
+let ops_arb =
+  QCheck.(
+    pair (int_range 0 10_000)
+      (list_of_size Gen.(int_range 0 300) (pair bool (int_range 1 8))))
+
+let prop_choke_pinned_seed_deterministic =
+  QCheck.Test.make ~name:"choke replay under pinned seed is identical"
+    ~count:100 ops_arb
+    (fun (seed, ops) ->
+      let mk ~prng = Choke.create ~capacity_pkts:16 ~prng () in
+      transcript mk ~seed ops = transcript mk ~seed ops)
+
+let prop_choked_pinned_seed_deterministic =
+  QCheck.Test.make ~name:"choked replay under pinned seed is identical"
+    ~count:100 ops_arb
+    (fun (seed, ops) ->
+      let mk ~prng = Choked.create ~capacity_pkts:16 ~prng () in
+      transcript mk ~seed ops = transcript mk ~seed ops)
+
+(* Byte conservation across the whole zoo, with the shadow model
+   watching: every byte offered is either in the queue, served, or
+   reported dropped — and Checked.wrap (mode Raise) turns any
+   length/bytes/membership lie into an immediate failure. The clock
+   advances between ops so CoDel's sojourn control law actually
+   engages, exercising the dequeue_drops path through the wrapper. *)
+let prop_zoo_conserves_bytes =
+  QCheck.Test.make
+    ~name:"choke/choked/codel/las conserve bytes under the shadow model"
+    ~count:60
+    QCheck.(
+      pair (int_range 0 10_000)
+        (list_of_size
+           Gen.(int_range 0 250)
+           (triple bool (int_range 1 8) (int_range 100 1000))))
+    (fun (seed, ops) ->
+      let mk_disc ~now = function
+        | "choke" ->
+            Choke.create ~capacity_pkts:16
+              ~prng:(Taq_util.Prng.create ~seed) ()
+        | "choked" ->
+            Choked.create ~capacity_pkts:16
+              ~prng:(Taq_util.Prng.create ~seed) ()
+        | "codel" ->
+            let params =
+              { Codel.capacity_pkts = 16; target = 0.02; interval = 0.1 }
+            in
+            Codel.create ~params ~capacity_pkts:16 ~now ()
+        | "las" -> Las.create ~capacity_pkts:16 ()
+        | _ -> assert false
+      in
+      List.for_all
+        (fun name ->
+          let clock = ref 0.0 in
+          let check =
+            Taq_check.Check.create ~mode:Taq_check.Check.Raise
+              ~groups:[ Taq_check.Check.Queueing ] ()
+          in
+          let d = Checked.wrap ~check (mk_disc ~now:(fun () -> !clock) name) in
+          let offered = ref 0 and out = ref 0 in
+          let seq = ref 0 in
+          let account (v : Packet.t) = out := !out + v.Packet.size in
+          List.iter
+            (fun (is_enq, flow, size) ->
+              clock := !clock +. 0.005;
+              if is_enq then begin
+                incr seq;
+                offered := !offered + size;
+                List.iter account (d.Disc.enqueue (mk_pkt ~flow ~seq:!seq ~size ()))
+              end
+              else begin
+                (match d.Disc.dequeue () with
+                | Some p -> account p
+                | None -> ());
+                List.iter account (d.Disc.dequeue_drops ())
+              end)
+            ops;
+          !offered = !out + d.Disc.bytes ())
+        [ "choke"; "choked"; "codel"; "las" ])
+
+(* CoDel metamorphic property: under the same sustained-overload
+   schedule (deterministic — CoDel has no PRNG), raising the sojourn
+   target can only relax the controller, so the control-law drop count
+   must be non-increasing in the target. The buffer is oversized so
+   every drop counted is CoDel's own, never a capacity tail-drop. *)
+let codel_overload_drops ~target =
+  let clock = ref 0.0 in
+  let params = { Codel.capacity_pkts = 10_000; target; interval = 0.1 } in
+  let d = Codel.create ~params ~capacity_pkts:10_000 ~now:(fun () -> !clock) () in
+  let drops = ref 0 and seq = ref 0 in
+  for tick = 1 to 4000 do
+    clock := !clock +. 0.01;
+    incr seq;
+    assert (d.Disc.enqueue (mk_pkt ~seq:!seq ()) = []);
+    (* every 5th tick a second arrival: 20% sustained overload *)
+    if tick mod 5 = 0 then begin
+      incr seq;
+      assert (d.Disc.enqueue (mk_pkt ~seq:!seq ()) = [])
+    end;
+    ignore (d.Disc.dequeue ());
+    drops := !drops + List.length (d.Disc.dequeue_drops ())
+  done;
+  !drops
+
+let test_codel_drops_monotone_in_target () =
+  let targets = [ 0.01; 0.02; 0.05; 0.1; 0.25 ] in
+  let counts = List.map (fun target -> codel_overload_drops ~target) targets in
+  (match counts with
+  | loosest_last :: _ ->
+      Alcotest.(check bool)
+        "tightest target actually drops" true (loosest_last > 0)
+  | [] -> ());
+  let rec check_pairs = function
+    | a :: b :: rest ->
+        Alcotest.(check bool)
+          (Printf.sprintf "drops %d >= %d as target grows" a b)
+          true (a >= b);
+        check_pairs (b :: rest)
+    | _ -> ()
+  in
+  check_pairs counts
+
 let () =
   Alcotest.run "taq_queueing"
     [
@@ -284,7 +430,18 @@ let () =
           Alcotest.test_case "conservation" `Quick test_drr_conservation;
           Alcotest.test_case "capacity" `Quick test_drr_capacity_respected;
         ] );
+      ( "codel",
+        [
+          Alcotest.test_case "drops monotone in target" `Quick
+            test_codel_drops_monotone_in_target;
+        ] );
       ( "properties",
         List.map (QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ~file:"test_queueing"))
-          [ prop_droptail_never_exceeds_capacity; prop_sfq_never_exceeds_capacity ] );
+          [
+            prop_droptail_never_exceeds_capacity;
+            prop_sfq_never_exceeds_capacity;
+            prop_choke_pinned_seed_deterministic;
+            prop_choked_pinned_seed_deterministic;
+            prop_zoo_conserves_bytes;
+          ] );
     ]
