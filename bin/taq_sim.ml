@@ -31,8 +31,8 @@ let check_arg =
     & info [ "check" ] ~docv:"GROUPS"
         ~doc:
           "Enable runtime invariant checking. $(docv) is a comma-separated \
-           subset of engine, net, queueing, tcp, core (default: all). The \
-           first violation aborts the run.")
+           subset of engine, net, queueing, tcp, core, guard, fluid, resil \
+           (default: all). The first violation aborts the run.")
 
 let setup_check spec =
   match spec with
@@ -111,6 +111,39 @@ let setup_faults spec =
       | Ok plan ->
           Fault_plan.set_ambient plan;
           Ok (Some plan)
+      | Error msg -> Error msg)
+
+(* --- resilience SLOs ---------------------------------------------------- *)
+
+(* [--resil] / [--resil=SPEC] installs the ambient resilience policy
+   before any simulation (or worker domain) starts, mirroring --check:
+   every environment built afterwards attaches a read-only
+   steady-state/recovery monitor against its fault plan. The monitor
+   never perturbs the trajectory, so metrics with and without --resil
+   are byte-identical. *)
+let resil_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "resil" ] ~docv:"SPEC"
+        ~doc:
+          "Monitor resilience SLOs: rolling windows of Jain fairness, drop \
+           rate and bottleneck occupancy, a pre-fault baseline, peak \
+           deviation inside fault windows, and per-metric time-to-recover \
+           after the fault plan clears. $(docv) is a comma-separated list of \
+           key=value overrides of the canonical parameters (period, sustain, \
+           eps-jain, eps-drop, eps-occ-frac, eps-occ-floor); bare $(b,--resil) \
+           uses the defaults. Deterministic: equal seeds report equal \
+           recovery times at any --jobs count.")
+
+let setup_resil spec =
+  match spec with
+  | None -> Ok None
+  | Some s -> (
+      match Taq_resil.Policy.params_of_spec s with
+      | Ok p ->
+          Taq_resil.Policy.set_ambient p;
+          Ok (Some p)
       | Error msg -> Error msg)
 
 (* --- traffic backend ---------------------------------------------------- *)
@@ -306,7 +339,7 @@ let sim_cmd =
              the packet log as CSV to $(docv).")
   in
   let run queue capacity flows rtt duration buffer_rtts seed guard pcap backend
-      bg_flows fluid_dt check obs faults =
+      bg_flows fluid_dt check obs faults resil =
    match setup_check check with
    | Error msg -> `Error (false, msg)
    | Ok check_enabled ->
@@ -315,7 +348,19 @@ let sim_cmd =
    | Ok obs_enabled ->
    match setup_faults faults with
    | Error msg -> `Error (false, msg)
-   | Ok _plan ->
+   | Ok plan ->
+   (* A clause starting at or past the horizon would silently inject
+      nothing — reject it up front with the parser's actionable message. *)
+   match
+     match plan with
+     | Some p -> Fault_plan.check_within ~run_until:duration p
+     | None -> Ok ()
+   with
+   | Error msg -> `Error (false, msg)
+   | Ok () ->
+   match setup_resil resil with
+   | Error msg -> `Error (false, msg)
+   | Ok _resil ->
    (try
     let buffer_pkts =
       Common.buffer_for_rtts ~capacity_bps:capacity ~rtt ~rtts:buffer_rtts
@@ -388,7 +433,20 @@ let sim_cmd =
     | Some src -> Printf.printf "  %s\n" (Taq_fluid.Source.report src));
     (match env.Common.faults with
     | None -> ()
-    | Some inj -> Printf.printf "  %s\n" (Taq_fault.Injector.report inj));
+    | Some inj ->
+        Printf.printf "  %s\n" (Taq_fault.Injector.report inj);
+        if Taq_fault.Injector.injected_total inj = 0 then
+          Printf.printf
+            "  warning: the fault plan injected nothing (every fault.* \
+             counter is zero) — check the clause windows against the run \
+             duration and the traffic they should hit\n");
+    (match Common.resil_rows env with
+    | None -> ()
+    | Some rows ->
+        List.iter
+          (fun row ->
+            Printf.printf "  %s\n" (Taq_resil.Monitor.row_line row))
+          rows);
     if check_enabled then print_string (Check.report env.Common.check);
     if obs_enabled then finish_obs (Obs.snapshot env.Common.obs);
     `Ok ()
@@ -401,7 +459,7 @@ let sim_cmd =
       ret
         (const run $ queue $ capacity $ flows $ rtt $ duration $ buffer_rtts
        $ seed $ guard $ pcap $ backend_arg $ bg_flows_arg $ fluid_dt_arg
-       $ check_arg $ obs_arg $ faults_arg))
+       $ check_arg $ obs_arg $ faults_arg $ resil_arg))
 
 (* --- sweep ---------------------------------------------------------------- *)
 
@@ -440,6 +498,12 @@ let sweep_point ~queue ~capacity ~fair_share ~rtt ~duration ~buffer_rtts ~guard
     (Taq_metrics.Slicer.long_term_jain env.Common.slicer ~flows:ids)
     (Common.utilization env)
     (Common.measured_loss_rate env);
+  (match Common.resil_rows env with
+  | None -> ()
+  | Some rows ->
+      List.iter
+        (fun row -> out "  %s\n" (Taq_resil.Monitor.row_line row))
+        rows);
   match env.Common.fluid with
   | None -> ()
   | Some src -> out "  %s\n" (Taq_fluid.Source.report src)
@@ -460,12 +524,26 @@ let sweep_cmd =
       value & flag
       & info [ "matrix" ]
           ~doc:
-            "Run the disc x tcp x workload cell matrix instead of the \
-             classic capacity/fair-share grid: every discipline crossed \
-             with every --tcps stack and --workloads scenario at the \
-             quick golden scale, one cell report line each, plus the \
-             merged per-cell Jain/drop-rate table. Faults (--faults) and \
-             the guard (--guard) stay axes of the cell key.")
+            "Run the disc x tcp x workload x fault cell matrix instead of \
+             the classic capacity/fair-share grid: every discipline crossed \
+             with every --tcps stack, --workloads scenario and --fault-axis \
+             fault at the quick golden scale, one cell report line (plus \
+             per-metric resilience lines) each, and the merged per-cell \
+             Jain/drop-rate/recovery table. The guard (--guard) stays an \
+             axis of the cell key; the fault axis owns fault injection \
+             (--faults is rejected) and every cell runs the resilience \
+             monitor with canonical parameters (--resil is rejected).")
+  in
+  let fault_axis =
+    Arg.(
+      value
+      & opt (list string) Matrix.default_fault_axis
+      & info [ "fault-axis" ] ~docv:"FAULTS"
+          ~doc:
+            "Matrix mode: comma-separated fault-axis scenarios crossed with \
+             every cell (none, flap, flood, brownout, jitter). Each fault is \
+             folded into the cell's task key, so faulted cells draw their \
+             own seeds and never alias fault-free cache entries.")
   in
   let tcps =
     Arg.(
@@ -579,9 +657,10 @@ let sweep_cmd =
              They are reported but excluded from the exit status. Requires \
              --timeout-s (the hanging task is only bounded by the deadline).")
   in
-  let run queues matrix tcps workloads capacities fair_shares reps rtt duration
-      buffer_rtts guard backend bg_flows fluid_dt jobs results_dir no_cache
-      resume timeout_s retries chaos check obs faults =
+  let run queues matrix tcps workloads fault_axis capacities fair_shares reps
+      rtt duration buffer_rtts guard backend bg_flows fluid_dt jobs
+      results_dir no_cache resume timeout_s retries chaos check obs faults
+      resil =
     if reps < 1 then `Error (false, "--reps must be >= 1")
     else if chaos && timeout_s = None then
       `Error (false, "--chaos requires --timeout-s (it injects a hanging task)")
@@ -592,6 +671,20 @@ let sweep_cmd =
           --no-cache")
     else if matrix && backend <> `Packet then
       `Error (false, "--matrix cells are packet-backend only; drop --backend")
+    else if matrix && faults <> None then
+      `Error
+        (false,
+         "--matrix owns its fault injection: pick scenarios with \
+          --fault-axis (none, flap, flood, brownout, jitter) instead of \
+          --faults")
+    else if matrix && resil <> None then
+      `Error
+        (false,
+         "--matrix cells always run the resilience monitor with canonical \
+          parameters (its recovery columns must be comparable across \
+          reports); drop --resil")
+    else if (not matrix) && fault_axis <> Matrix.default_fault_axis then
+      `Error (false, "--fault-axis is a matrix axis; it requires --matrix")
     else begin
       match setup_check check with
       | Error msg -> `Error (false, msg)
@@ -602,6 +695,18 @@ let sweep_cmd =
       match setup_faults faults with
       | Error msg -> `Error (false, msg)
       | Ok fault_plan ->
+      (* Classic-grid hardening: a clause past the sweep duration would
+         silently inject nothing in every point. *)
+      match
+        match fault_plan with
+        | Some p -> Fault_plan.check_within ~run_until:duration p
+        | None -> Ok ()
+      with
+      | Error msg -> `Error (false, msg)
+      | Ok () ->
+      match setup_resil resil with
+      | Error msg -> `Error (false, msg)
+      | Ok resil_params ->
       (* The task key is the point's full identity: every parameter that
          affects the output is in it — including the canonical fault
          plan, so faulted and fault-free sweeps never share cache
@@ -615,6 +720,15 @@ let sweep_cmd =
       let guard_suffix =
         match guard with
         | Some cap -> Printf.sprintf "/guard=%d" cap
+        | None -> ""
+      in
+      (* Monitored sweeps print extra resilience lines per point, so
+         the parameters join the key: monitored and unmonitored points
+         never share cache entries. *)
+      let resil_suffix =
+        match resil_params with
+        | Some p ->
+            Printf.sprintf "/resil=%s" (Taq_resil.Policy.params_to_string p)
         | None -> ""
       in
       let backend_spec =
@@ -646,10 +760,10 @@ let sweep_cmd =
                     List.init reps (fun rep ->
                         let key =
                           Printf.sprintf
-                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s%s%s"
+                            "sweep/v1/queue=%s/cap=%.0f/fs=%.0f/rtt=%g/dur=%g/buf=%g/rep=%d%s%s%s%s"
                             (queue_tag queue) capacity fair_share rtt duration
                             buffer_rtts rep fault_suffix guard_suffix
-                            backend_suffix
+                            resil_suffix backend_suffix
                         in
                         ( key,
                           fun ~seed () ->
@@ -668,19 +782,30 @@ let sweep_cmd =
           (fun disc ->
             List.concat_map
               (fun tcp ->
-                List.map
+                List.concat_map
                   (fun workload ->
-                    (match Matrix.validate ~disc ~tcp ~workload with
-                    | Ok () -> ()
-                    | Error msg -> failwith msg);
-                    let key =
-                      Printf.sprintf "matrix/v1/disc=%s/tcp=%s/wl=%s%s%s" disc
-                        tcp workload fault_suffix guard_suffix
-                    in
-                    ( key,
-                      fun ~seed () ->
-                        Matrix.run_cell ~disc ~tcp ~workload
-                          ?guard_cap:guard ~seed () ))
+                    List.map
+                      (fun fault ->
+                        (match
+                           Matrix.validate ~fault ~disc ~tcp ~workload ()
+                         with
+                        | Ok () -> ()
+                        | Error msg -> failwith msg);
+                        (* fault=none keys stay bare, so the fault axis
+                           never reseeds (or un-caches) the pre-axis
+                           matrix cells. *)
+                        let cell_fault_suffix =
+                          if fault = "none" then "" else "/fault=" ^ fault
+                        in
+                        let key =
+                          Printf.sprintf "matrix/v1/disc=%s/tcp=%s/wl=%s%s%s"
+                            disc tcp workload cell_fault_suffix guard_suffix
+                        in
+                        ( key,
+                          fun ~seed () ->
+                            Matrix.run_cell ~disc ~tcp ~workload ~fault
+                              ?guard_cap:guard ~seed () ))
+                      fault_axis)
                   workloads)
               tcps)
           discs
@@ -877,11 +1002,26 @@ let sweep_cmd =
         let report =
           Taq_util.Table.create
             ~columns:
-              [ "disc"; "tcp"; "workload"; "jain"; "drop_rate"; "util";
-                "completed" ]
+              [ "disc"; "tcp"; "workload"; "fault"; "jain"; "drop_rate";
+                "util"; "completed"; "rec_jain"; "rec_drop"; "rec_occ" ]
         in
         List.iter
           (fun (_, output) ->
+            (* One cell per point output, so the output's resil lines
+               belong to the cell parsed from the same text. *)
+            let resil = Matrix.resil_of_output output in
+            let recover_of metric =
+              match
+                List.find_opt
+                  (fun kv -> List.assoc_opt "metric" kv = Some metric)
+                  resil
+              with
+              | Some kv -> (
+                  match List.assoc_opt "recover_s" kv with
+                  | Some v -> v
+                  | None -> "?")
+              | None -> "-"
+            in
             List.iter
               (fun cell ->
                 let v k =
@@ -889,8 +1029,10 @@ let sweep_cmd =
                 in
                 Taq_util.Table.add_row report
                   [
-                    v "disc"; v "tcp"; v "wl"; v "jain"; v "drop_rate";
-                    v "util"; v "completed";
+                    v "disc"; v "tcp"; v "wl"; v "fault"; v "jain";
+                    v "drop_rate"; v "util"; v "completed";
+                    recover_of "jain"; recover_of "drop_rate";
+                    recover_of "occupancy";
                   ])
               (Matrix.cells_of_output output))
           (List.rev !outputs);
@@ -961,11 +1103,11 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       ret
-        (const run $ queues $ matrix $ tcps $ workloads $ capacities
-       $ fair_shares $ reps $ rtt $ duration $ buffer_rtts $ guard
-       $ backend_arg $ bg_flows_arg $ fluid_dt_arg $ jobs $ results_dir
-       $ no_cache $ resume $ timeout_s $ retries $ chaos $ check_arg $ obs_arg
-       $ faults_arg))
+        (const run $ queues $ matrix $ tcps $ workloads $ fault_axis
+       $ capacities $ fair_shares $ reps $ rtt $ duration $ buffer_rtts
+       $ guard $ backend_arg $ bg_flows_arg $ fluid_dt_arg $ jobs
+       $ results_dir $ no_cache $ resume $ timeout_s $ retries $ chaos
+       $ check_arg $ obs_arg $ faults_arg $ resil_arg))
 
 (* --- faults --------------------------------------------------------------- *)
 
@@ -1000,7 +1142,7 @@ let faults_cmd =
           ~doc:"Worker domains. Drills are seeded from their task keys, so \
                 outcomes are byte-identical for any jobs count.")
   in
-  let run list_flag scenario queues jobs check obs =
+  let run list_flag scenario queues jobs check obs resil =
     if list_flag then begin
       List.iter
         (fun s ->
@@ -1017,6 +1159,9 @@ let faults_cmd =
           match setup_obs obs with
           | Error msg -> `Error (false, msg)
           | Ok obs_enabled -> (
+          match setup_resil resil with
+          | Error msg -> `Error (false, msg)
+          | Ok _resil -> (
           let scenarios =
             match scenario with
             | None -> Ok Scenarios.all
@@ -1127,14 +1272,14 @@ let faults_cmd =
               with
               | Check.Violation msg ->
                   `Error (false, Printf.sprintf "invariant violation: %s" msg)
-              | Failure msg -> `Error (false, msg))))
+              | Failure msg -> `Error (false, msg)))))
   in
   let doc = "Run the canonical fault-scenario registry and assert recovery" in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       ret
         (const run $ list_flag $ scenario $ queues $ jobs $ check_arg
-       $ obs_arg))
+       $ obs_arg $ resil_arg))
 
 (* --- model --------------------------------------------------------------- *)
 

@@ -1,7 +1,7 @@
-type group = Engine | Net | Queueing | Tcp | Core | Guard | Fluid
+type group = Engine | Net | Queueing | Tcp | Core | Guard | Fluid | Resil
 
-let all_groups = [ Engine; Net; Queueing; Tcp; Core; Guard; Fluid ]
-let n_groups = 7
+let all_groups = [ Engine; Net; Queueing; Tcp; Core; Guard; Fluid; Resil ]
+let n_groups = 8
 
 let index = function
   | Engine -> 0
@@ -11,6 +11,7 @@ let index = function
   | Core -> 4
   | Guard -> 5
   | Fluid -> 6
+  | Resil -> 7
 
 let bit g = 1 lsl index g
 
@@ -22,6 +23,7 @@ let group_name = function
   | Core -> "core"
   | Guard -> "guard"
   | Fluid -> "fluid"
+  | Resil -> "resil"
 
 let group_of_string = function
   | "engine" -> Some Engine
@@ -31,6 +33,7 @@ let group_of_string = function
   | "core" -> Some Core
   | "guard" -> Some Guard
   | "fluid" -> Some Fluid
+  | "resil" -> Some Resil
   | _ -> None
 
 let groups_of_string s =
@@ -50,7 +53,7 @@ let groups_of_string s =
           Error
             (Printf.sprintf
                "unknown check group %S (expected all, engine, net, queueing, \
-                tcp, core, guard, fluid)"
+                tcp, core, guard, fluid, resil)"
                p))
     in
     go [] parts

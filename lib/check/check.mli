@@ -23,6 +23,9 @@ type group =
                    cross-mode packet conservation *)
   | Fluid      (** hybrid fluid backend: occupancy bounds, window clamp,
                    conservation of fluid bytes at the bottleneck *)
+  | Resil      (** resilience monitor: strictly monotone sample clock,
+                   baseline frozen before the first injection, samples
+                   inside their metric ranges *)
 
 val all_groups : group list
 val group_name : group -> string

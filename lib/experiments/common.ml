@@ -43,6 +43,7 @@ type env = {
   obs : Obs.t;
   faults : Taq_fault.Injector.t option;
   fluid : Taq_fluid.Source.t option;
+  resil : Taq_resil.Monitor.t option;
 }
 
 type backend = Packet | Hybrid of Taq_fluid.Model.params
@@ -68,8 +69,9 @@ let taq_config ?(admission = false) ?guard_cap ~capacity_bps ~buffer_pkts () =
   | None -> config
   | Some cap -> Taq_config.with_guard ~max_tracked_flows:cap config
 
-let make_env ?check ?obs ?faults ?(backend = Packet) ~queue ~capacity_bps
-    ~buffer_pkts ?(slice = 20.0) ?(evolution_window = 5.0) ?(seed = 1) () =
+let make_env ?check ?obs ?faults ?resil ?(backend = Packet) ~queue
+    ~capacity_bps ~buffer_pkts ?(slice = 20.0) ?(evolution_window = 5.0)
+    ?(seed = 1) () =
   (* One checker per environment: the simulator, link, TAQ middlebox and
      every TCP sender share it, so counters aggregate in one place. The
      observability instance works the same way: one per env, shared by
@@ -152,6 +154,24 @@ let make_env ?check ?obs ?faults ?(backend = Packet) ~queue ~capacity_bps
           (Taq_fluid.Source.attach ~check ~obs ?filter:fluid_filter ~sim
              ~link:(Dumbbell.link net) ~params ~until:Float.infinity ())
   in
+  (* Resilience monitor: an explicit parameter set wins; otherwise the
+     ambient policy installed by --resil (if any). The monitor is
+     read-only (no PRNG draws, no queue perturbation), so attaching it
+     never changes the simulated trajectory — metrics with and without
+     --resil are byte-identical. It is armed by {!run}. *)
+  let resil_params =
+    match resil with Some p -> Some p | None -> Taq_resil.Policy.ambient ()
+  in
+  let resil =
+    match resil_params with
+    | None -> None
+    | Some params ->
+        Some
+          (Taq_resil.Monitor.create ~params ~check ~obs ~sim
+             ~link:(Dumbbell.link net)
+             ~plan:(Option.value fault_plan ~default:[])
+             ())
+  in
   {
     sim;
     net;
@@ -164,6 +184,7 @@ let make_env ?check ?obs ?faults ?(backend = Packet) ~queue ~capacity_bps
     obs;
     faults;
     fluid;
+    resil;
   }
 
 let instrument env session =
@@ -172,7 +193,10 @@ let instrument env session =
   Tcp_receiver.on_segment receiver (fun _seq ->
       let time = Sim.now env.sim in
       Taq_metrics.Slicer.record env.slicer ~flow ~time ~bytes:pkt_bytes;
-      Taq_metrics.Flow_evolution.note_activity env.evolution ~flow ~time)
+      Taq_metrics.Flow_evolution.note_activity env.evolution ~flow ~time;
+      match env.resil with
+      | Some m -> Taq_resil.Monitor.note_delivery m ~flow ~bytes:pkt_bytes
+      | None -> ())
 
 let spawn_long_flows env ?(tcp = default_tcp) ~n ~rtt ?(rtt_jitter = 0.0) () =
   Array.init n (fun _ ->
@@ -218,7 +242,13 @@ let spawn_finite_flow env ?(tcp = default_tcp) ?(pool = -1) ~segments ~rtt
   | Some time -> ignore (Sim.schedule env.sim ~at:time start));
   flow
 
-let run env ~until = Sim.run ~until env.sim
+let run env ~until =
+  (match env.resil with
+  | Some m -> Taq_resil.Monitor.arm m ~until
+  | None -> ());
+  Sim.run ~until env.sim
+
+let resil_rows env = Option.map Taq_resil.Monitor.rows env.resil
 
 let utilization env = Taq_net.Link.utilization (Dumbbell.link env.net)
 

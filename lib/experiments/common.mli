@@ -35,6 +35,10 @@ type env = {
           was installed on this environment *)
   fluid : Taq_fluid.Source.t option;
       (** present when the env was built with [backend = Hybrid _] *)
+  resil : Taq_resil.Monitor.t option;
+      (** present when resilience monitoring was requested (explicit
+          [resil] parameter or ambient [--resil] policy); armed by
+          {!run}, harvested with {!resil_rows} *)
 }
 
 (** {1 Traffic backends}
@@ -60,6 +64,7 @@ val make_env :
   ?check:Taq_check.Check.t ->
   ?obs:Taq_obs.Obs.t ->
   ?faults:Taq_fault.Plan.t ->
+  ?resil:Taq_resil.Policy.params ->
   ?backend:backend ->
   queue:queue ->
   capacity_bps:float ->
@@ -83,7 +88,12 @@ val make_env :
     (default [Taq_fault.Plan.ambient ()], i.e. the CLI's [--faults]
     plan when one was installed) attaches a fault injector to the
     bottleneck, seeded from a split of the env's root PRNG; fault-free
-    envs draw exactly the random streams they always did. [backend]
+    envs draw exactly the random streams they always did. [resil]
+    (default [Taq_resil.Policy.ambient ()], i.e. the CLI's [--resil]
+    parameters when installed) attaches a {!Taq_resil.Monitor} to the
+    bottleneck against the resolved fault plan; the monitor is
+    read-only, so attaching it never changes the simulated trajectory.
+    [backend]
     (default [Packet]) selects the traffic backend: [Hybrid p]
     attaches a {!Taq_fluid.Source} to the bottleneck (ticking every
     [p.dt] for the whole run) and, for indiscriminate disciplines
@@ -131,6 +141,12 @@ val spawn_finite_flow :
     its flow id. [on_complete] receives the completion time. *)
 
 val run : env -> until:float -> unit
+(** Arm the resilience monitor (when present) for [until], then run
+    the simulator to [until]. *)
+
+val resil_rows : env -> Taq_resil.Monitor.row list option
+(** Per-metric resilience results (finalizing the monitor), when one
+    was attached. *)
 
 val utilization : env -> float
 

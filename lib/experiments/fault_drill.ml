@@ -15,6 +15,7 @@ type outcome = {
   peak_tracked : int;
   tracker_cap : int;
   guard_mode : string;
+  recovery : (string * string) list;
   ok : bool;
   problems : string list;
 }
@@ -116,6 +117,19 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
       if tracked_at_end = 0 then
         problem "TAQ tracks no flows after the flood (nothing re-learned)"
   | Some _ | None -> ());
+  (* Recovery times per monitored metric, when the ambient --resil
+     policy attached a monitor to this drill's environment. *)
+  let recovery =
+    match Common.resil_rows env with
+    | None -> []
+    | Some rows ->
+        List.map
+          (fun r ->
+            ( r.Taq_resil.Monitor.metric,
+              Taq_resil.Monitor.recovery_to_string r.Taq_resil.Monitor.recovery
+            ))
+          rows
+  in
   let problems = List.rev !problems in
   {
     scenario;
@@ -131,6 +145,7 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
     peak_tracked;
     tracker_cap;
     guard_mode;
+    recovery;
     ok = problems = [];
     problems;
   }
@@ -138,7 +153,7 @@ let run ~scenario ~plan ~queue ?(flows = 8) ?(segments = 400) ?(rtt = 0.1)
 let print outcomes =
   let columns =
     [ "scenario"; "queue"; "flows"; "done"; "injected"; "restarts";
-      "tracked"; "guard"; "status" ]
+      "tracked"; "guard"; "recover"; "status" ]
   in
   let table = Taq_util.Table.create ~columns in
   List.iter
@@ -159,6 +174,10 @@ let print outcomes =
                o.degraded_entered o.degraded_exited o.peak_tracked
                o.tracker_cap
            else "-");
+          (if o.recovery = [] then "-"
+           else
+             String.concat " "
+               (List.map (fun (m, v) -> Printf.sprintf "%s=%s" m v) o.recovery));
           (if o.ok then "ok" else String.concat "; " o.problems);
         ])
     outcomes;

@@ -39,9 +39,18 @@ type outcome = {
           flood plans *)
   tracker_cap : int;  (** 0 when the run had no guard *)
   guard_mode : string;  (** final mode name, ["-"] without a guard *)
+  recovery : (string * string) list;
+      (** per-metric time-to-recover strings from the resilience
+          monitor (metric name -> seconds / ["no_recovery"] / ["-"]),
+          in {!Taq_resil.Monitor.metric_names} order; empty when no
+          [--resil] policy was installed *)
   ok : bool;
   problems : string list;  (** empty iff [ok] *)
 }
+
+val flood_guard_cap : int
+(** 256 — the [max_tracked_flows] cap flood drills (and the matrix's
+    flood cells) configure on TAQ's overload guard. *)
 
 val run :
   scenario:string ->

@@ -23,6 +23,35 @@ let workload_names = [ "longmix"; "mice" ]
 
 let tcp_names = Tcp_config.profile_names
 
+(* The fault axis: named, fixed scenarios sized for the quick-scale
+   cell (fault onset well into steady state, cleared with most of the
+   horizon left so recovery is measurable). The scenario name is
+   folded into the task key, so each (cell, fault) pair draws its own
+   seed and the fault=none keys stay byte-identical to the pre-axis
+   matrix. *)
+let fault_specs =
+  [
+    ("none", "");
+    ("flap", "flap@8+3");
+    ("flood", "flood@8+6:rate=300,kind=syn");
+    ("brownout", "brownout@8+6:frac=0.5");
+    ("jitter", "jitter@8+6:ms=40");
+  ]
+
+let fault_names = List.map fst fault_specs
+let default_fault_axis = [ "none"; "flap"; "flood" ]
+
+let plan_of_fault name =
+  match List.assoc_opt name fault_specs with
+  | None ->
+      Error
+        (Printf.sprintf "unknown matrix fault %S (known: %s)" name
+           (String.concat ", " fault_names))
+  | Some spec -> (
+      match Taq_fault.Plan.of_string spec with
+      | Ok plan -> Ok plan
+      | Error msg -> Error (Printf.sprintf "matrix fault %s: %s" name msg))
+
 let queue_of_disc ?guard_cap = function
   | "droptail" -> Some Common.Droptail
   | "red" -> Some Common.Red
@@ -42,7 +71,7 @@ let queue_of_disc ?guard_cap = function
               ~buffer_pkts ()))
   | _ -> None
 
-let validate ~disc ~tcp ~workload =
+let validate ?(fault = "none") ~disc ~tcp ~workload () =
   if queue_of_disc disc = None then
     Error (Printf.sprintf "unknown matrix disc %S" disc)
   else if Tcp_config.of_name tcp = None then
@@ -53,7 +82,7 @@ let validate ~disc ~tcp ~workload =
     Error
       (Printf.sprintf "unknown workload %S (known: %s)" workload
          (String.concat ", " workload_names))
-  else Ok ()
+  else match plan_of_fault fault with Ok _ -> Ok () | Error e -> Error e
 
 let jain xs =
   let n = Array.length xs in
@@ -64,10 +93,11 @@ let jain xs =
     if sumsq <= 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
   end
 
-let cell_line ~disc ~tcp ~workload ~jain ~drop_rate ~util ~completed =
+let cell_line ~disc ~tcp ~workload ~fault ~jain ~drop_rate ~util ~completed =
   Printf.sprintf
-    "cell disc=%s tcp=%s wl=%s jain=%.6f drop_rate=%.6f util=%.6f completed=%d"
-    disc tcp workload jain drop_rate util completed
+    "cell disc=%s tcp=%s wl=%s fault=%s jain=%.6f drop_rate=%.6f util=%.6f \
+     completed=%d"
+    disc tcp workload fault jain drop_rate util completed
 
 let run_longmix env ~tcp =
   let flows = Common.spawn_long_flows env ~tcp ~n:n_long ~rtt ~rtt_jitter:0.1 () in
@@ -108,10 +138,23 @@ let run_mice env ~tcp =
   Array.iter (fun t -> if not (Float.is_nan t) then incr completed) finished;
   (jain rates, !completed)
 
-let run_cell ~disc ~tcp ~workload ?guard_cap ~seed () =
-  (match validate ~disc ~tcp ~workload with
+let run_cell ~disc ~tcp ~workload ?(fault = "none") ?guard_cap ~seed () =
+  (match validate ~fault ~disc ~tcp ~workload () with
   | Ok () -> ()
   | Error msg -> failwith msg);
+  let plan =
+    match plan_of_fault fault with Ok p -> p | Error _ -> assert false
+  in
+  (* Flood cells put TAQ under tracker churn; mirror the fault drill's
+     overload-guard configuration so the cell exercises the guard arc
+     instead of unbounded state growth. The cap is implied by the
+     fault name, so it needs no extra key component. *)
+  let guard_cap =
+    match (guard_cap, fault) with
+    | (Some _ as g), _ -> g
+    | None, "flood" -> Some Fault_drill.flood_guard_cap
+    | None, _ -> None
+  in
   let queue =
     match queue_of_disc ?guard_cap disc with
     | Some q -> q
@@ -121,8 +164,13 @@ let run_cell ~disc ~tcp ~workload ?guard_cap ~seed () =
     match Tcp_config.of_name tcp with Some t -> t | None -> assert false
   in
   let elephant_tcp = { profile with Tcp_config.use_syn = false } in
+  (* Explicit faults + resilience parameters: the matrix axis owns the
+     plan (the ambient --faults plan must not leak into cells) and
+     every cell is monitored with the canonical default SLO parameters
+     so recovery columns mean the same thing in every report. *)
   let env =
-    Common.make_env ~queue ~capacity_bps ~buffer_pkts ~slice:1.0 ~seed ()
+    Common.make_env ~faults:plan ~resil:Taq_resil.Policy.default ~queue
+      ~capacity_bps ~buffer_pkts ~slice:1.0 ~seed ()
   in
   let j, completed =
     match workload with
@@ -131,15 +179,27 @@ let run_cell ~disc ~tcp ~workload ?guard_cap ~seed () =
     | _ -> assert false
   in
   Out.printf "%s\n"
-    (cell_line ~disc ~tcp ~workload ~jain:j
+    (cell_line ~disc ~tcp ~workload ~fault ~jain:j
        ~drop_rate:(Common.measured_loss_rate env)
-       ~util:(Common.utilization env) ~completed)
+       ~util:(Common.utilization env) ~completed);
+  match Common.resil_rows env with
+  | None -> ()
+  | Some rows ->
+      let prefix =
+        Printf.sprintf "resil disc=%s tcp=%s wl=%s fault=%s " disc tcp workload
+          fault
+      in
+      List.iter
+        (fun row -> Out.printf "%s\n" (Taq_resil.Monitor.row_line ~prefix row))
+        rows
 
-let cells_of_output text =
+let kv_lines ~tag text =
+  let prefix = tag ^ " " in
+  let plen = String.length prefix in
   let lines = String.split_on_char '\n' text in
   List.filter_map
     (fun line ->
-      if String.length line >= 5 && String.sub line 0 5 = "cell " then
+      if String.length line >= plen && String.sub line 0 plen = prefix then
         Some
           (String.split_on_char ' ' line
           |> List.filter_map (fun field ->
@@ -152,3 +212,6 @@ let cells_of_output text =
                            (String.length field - i - 1) )))
       else None)
     lines
+
+let cells_of_output text = kv_lines ~tag:"cell" text
+let resil_of_output text = kv_lines ~tag:"resil" text

@@ -31,23 +31,48 @@ val workload_names : string list
 val tcp_names : string list
 (** {!Taq_tcp.Tcp_config.profile_names}: newreno, sack, cubic. *)
 
+val fault_names : string list
+(** The fault axis vocabulary: none, flap, flood, brownout, jitter —
+    each a named, fixed quick-scale fault plan (onset t=8, cleared
+    with most of the horizon left so recovery is measurable). *)
+
+val default_fault_axis : string list
+(** [["none"; "flap"; "flood"]] — the axis [sweep --matrix] runs by
+    default; the golden matrix crosses every cell with these. *)
+
+val plan_of_fault : string -> (Taq_fault.Plan.t, string) result
+(** The fixed plan behind a fault-axis name (empty for ["none"]). *)
+
 val validate :
-  disc:string -> tcp:string -> workload:string -> (unit, string) result
+  ?fault:string ->
+  disc:string ->
+  tcp:string ->
+  workload:string ->
+  unit ->
+  (unit, string) result
 (** Check the cell coordinates before building task keys. *)
 
 val run_cell :
   disc:string ->
   tcp:string ->
   workload:string ->
+  ?fault:string ->
   ?guard_cap:int ->
   seed:int ->
   unit ->
   unit
-(** Run one cell and print its [cell ...] report line via
-    {!Taq_util.Out}. An ambient fault plan (the CLI's [--faults]) and
-    ambient check/obs policies apply exactly as in every other
-    experiment. @raise Failure on unknown coordinates. *)
+(** Run one cell under fault-axis scenario [fault] (default ["none"])
+    and print its [cell ...] report line plus one [resil ...] line per
+    monitored metric via {!Taq_util.Out}. The cell owns its fault plan
+    and resilience parameters (canonical defaults), so ambient
+    [--faults]/[--resil] never leak in; ambient check/obs policies
+    apply exactly as in every other experiment. Flood cells configure
+    TAQ's overload guard ({!Fault_drill.flood_guard_cap}) unless
+    [guard_cap] is given. @raise Failure on unknown coordinates. *)
 
 val cells_of_output : string -> (string * string) list list
 (** Parse the [cell ...] lines out of captured cell/report text: one
     assoc list of key=value fields per cell, in output order. *)
+
+val resil_of_output : string -> (string * string) list list
+(** Same, for the per-metric [resil ...] lines. *)

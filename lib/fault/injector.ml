@@ -13,6 +13,8 @@ type stats = {
   restarts : int;
   tracked_before_restart : int;
   flooded : int;
+  brownouts : int;
+  jittered : int;
 }
 
 type t = {
@@ -28,6 +30,8 @@ type t = {
   mutable restarts : int;
   mutable tracked_before_restart : int;
   mutable flooded : int;
+  mutable brownouts : int;
+  mutable jittered : int;
 }
 
 let in_window (w : Plan.window) ~now = w.Plan.from_ <= now && now < w.Plan.until
@@ -68,6 +72,15 @@ let fwd_tap t pkt forward =
           forward pkt
         end
         else apply rest
+    | Plan.Jitter { at; dur; ms } :: _ when at <= now && now < at +. dur ->
+        (* Every windowed packet is held back by a fresh bounded draw,
+           so consecutive packets can overtake each other — that is the
+           jitter. One PRNG draw per packet keeps the decision stream a
+           pure function of the delivery order. *)
+        let delay = Prng.uniform t.prng ~lo:0.0 ~hi:(ms /. 1000.0) in
+        t.jittered <- t.jittered + 1;
+        fired t "jitter";
+        ignore (Sim.schedule_after t.sim ~delay (fun () -> forward pkt))
     | Plan.Reorder { w; p; delay } :: rest when in_window w ~now ->
         if Prng.bernoulli t.prng ~p then begin
           t.reordered <- t.reordered + 1;
@@ -99,8 +112,12 @@ let rev_tap t pkt forward =
   | None -> forward pkt
 
 let wants_fwd_tap = function
-  | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Loss _ -> true
-  | Plan.Flap _ | Plan.Ack_delay _ | Plan.Restart _ | Plan.Flood _ -> false
+  | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Loss _
+  | Plan.Jitter _ ->
+      true
+  | Plan.Flap _ | Plan.Ack_delay _ | Plan.Restart _ | Plan.Flood _
+  | Plan.Brownout _ ->
+      false
 
 let wants_rev_tap = function Plan.Ack_delay _ -> true | _ -> false
 
@@ -121,6 +138,8 @@ let install ?taq ~net ~prng plan =
       restarts = 0;
       tracked_before_restart = 0;
       flooded = 0;
+      brownouts = 0;
+      jittered = 0;
     }
   in
   (* Each flood clause gets its own flow-id space and its own split
@@ -171,8 +190,22 @@ let install ?taq ~net ~prng plan =
                  t.flooded <- t.flooded + 1;
                  fired t "flood")
                ~net ~prng:(Prng.split prng) ~kind ~rate ~at ~duration:dur ())
+      | Plan.Brownout { at; dur; frac } ->
+          (* Degrade at [at], restore nominal rate at [at +. dur]. A
+             packet mid-transmission keeps its scheduled completion;
+             only packets starting afterwards see the derated rate —
+             conservation-safe by construction (arrivals just queue
+             behind the slower transmitter). *)
+          ignore
+            (Sim.schedule sim ~at (fun () ->
+                 t.brownouts <- t.brownouts + 1;
+                 fired t "brownout";
+                 Link.set_rate_factor link frac));
+          ignore
+            (Sim.schedule sim ~at:(at +. dur) (fun () ->
+                 Link.set_rate_factor link 1.0))
       | Plan.Corrupt _ | Plan.Duplicate _ | Plan.Reorder _ | Plan.Ack_delay _
-      | Plan.Loss _ ->
+      | Plan.Loss _ | Plan.Jitter _ ->
           ())
     plan;
   t
@@ -187,15 +220,17 @@ let stats t =
     restarts = t.restarts;
     tracked_before_restart = t.tracked_before_restart;
     flooded = t.flooded;
+    brownouts = t.brownouts;
+    jittered = t.jittered;
   }
 
 let injected_total t =
   t.flaps + t.corrupted + t.duplicated + t.reordered + t.acks_delayed
-  + t.restarts + t.flooded
+  + t.restarts + t.flooded + t.brownouts + t.jittered
 
 let report t =
   Printf.sprintf
     "faults: flaps=%d corrupted=%d duplicated=%d reordered=%d acks_delayed=%d \
-     restarts=%d flooded=%d"
+     restarts=%d flooded=%d brownouts=%d jittered=%d"
     t.flaps t.corrupted t.duplicated t.reordered t.acks_delayed t.restarts
-    t.flooded
+    t.flooded t.brownouts t.jittered

@@ -31,6 +31,8 @@ type stats = {
   flooded : int;
       (** adversarial flood packets injected ([flood@T+D:rate=R]
           clauses, via {!Taq_workload.Flood}) *)
+  brownouts : int;  (** link rate-degradation windows applied *)
+  jittered : int;  (** forward packets given extra seeded delay *)
 }
 
 val install :

@@ -9,6 +9,8 @@ type fault =
   | Restart of { at : float }
   | Loss of { p : float }
   | Flood of { at : float; dur : float; rate : float; kind : string }
+  | Brownout of { at : float; dur : float; frac : float }
+  | Jitter of { at : float; dur : float; ms : float }
 
 type t = fault list
 
@@ -32,6 +34,9 @@ let fault_to_string = function
       (* [kind] is always printed, so the canonical form round-trips
          and equal plans render equally for sweep task keys. *)
       Printf.sprintf "flood@%g+%g:rate=%g,kind=%s" at dur rate kind
+  | Brownout { at; dur; frac } ->
+      Printf.sprintf "brownout@%g+%g:frac=%g" at dur frac
+  | Jitter { at; dur; ms } -> Printf.sprintf "jitter@%g+%g:ms=%g" at dur ms
 
 let to_string t = String.concat ";" (List.map fault_to_string t)
 
@@ -208,6 +213,51 @@ let parse_clause clause =
                   (String.concat ", " flood_kinds)
                   kind
               else Ok (Flood { at; dur; rate; kind }))
+  | "brownout", `At spec -> (
+      let tspec, kspec = split_at_kvs spec in
+      match String.index_opt tspec '+' with
+      | None -> err "fault plan: brownout@T+D:frac=F expected, got %S" clause
+      | Some i ->
+          let* at = parse_time ~what:"brownout time" (String.sub tspec 0 i) in
+          let* dur =
+            parse_float ~what:"brownout duration"
+              (String.sub tspec (i + 1) (String.length tspec - i - 1))
+          in
+          if dur <= 0.0 then
+            err "fault plan: brownout duration must be > 0 (got %g)" dur
+          else
+            let* kvs = parse_kvs kspec in
+            let* () =
+              kv_reject_unknown kvs ~clause:"brownout" ~known:[ "frac" ]
+            in
+            let* fv = kv_get kvs ~clause:"brownout" "frac" in
+            let* frac = parse_float ~what:"brownout frac" fv in
+            if frac <= 0.0 || frac >= 1.0 then
+              err
+                "fault plan: brownout frac must be in (0,1) — a fraction of \
+                 nominal rate (got %g)"
+                frac
+            else Ok (Brownout { at; dur; frac }))
+  | "jitter", `At spec -> (
+      let tspec, kspec = split_at_kvs spec in
+      match String.index_opt tspec '+' with
+      | None -> err "fault plan: jitter@T+D:ms=J expected, got %S" clause
+      | Some i ->
+          let* at = parse_time ~what:"jitter time" (String.sub tspec 0 i) in
+          let* dur =
+            parse_float ~what:"jitter duration"
+              (String.sub tspec (i + 1) (String.length tspec - i - 1))
+          in
+          if dur <= 0.0 then
+            err "fault plan: jitter duration must be > 0 (got %g)" dur
+          else
+            let* kvs = parse_kvs kspec in
+            let* () = kv_reject_unknown kvs ~clause:"jitter" ~known:[ "ms" ] in
+            let* mv = kv_get kvs ~clause:"jitter" "ms" in
+            let* ms = parse_float ~what:"jitter ms" mv in
+            if ms <= 0.0 then
+              err "fault plan: jitter ms must be > 0 (got %g)" ms
+            else Ok (Jitter { at; dur; ms }))
   | "loss", `Kvs kspec ->
       let* kvs = parse_kvs kspec in
       let* () = kv_reject_unknown kvs ~clause:"loss" ~known:[ "p" ] in
@@ -218,7 +268,8 @@ let parse_clause clause =
       err
         "fault plan: unknown clause %S (known: flap@T+D, corrupt@A-B:p=P, \
          dup@A-B:p=P, reorder@A-B:p=P,delay=D, ackdelay@A-B:delay=D, \
-         restart@T, loss:p=P, flood@T+D:rate=R[,kind=syn|data|pool])"
+         restart@T, loss:p=P, flood@T+D:rate=R[,kind=syn|data|pool], \
+         brownout@T+D:frac=F, jitter@T+D:ms=J)"
         clause
 
 let of_string s =
@@ -246,8 +297,44 @@ let fault_end = function
   | Restart { at } -> at
   | Loss _ -> infinity
   | Flood { at; dur; _ } -> at +. dur
+  | Brownout { at; dur; _ } -> at +. dur
+  | Jitter { at; dur; ms } -> at +. dur +. (ms /. 1000.0)
+
+let fault_start = function
+  | Flap { at; _ }
+  | Restart { at }
+  | Flood { at; _ }
+  | Brownout { at; _ }
+  | Jitter { at; _ } ->
+      at
+  | Corrupt { w; _ } | Duplicate { w; _ } | Reorder { w; _ } | Ack_delay { w; _ }
+    ->
+      w.from_
+  | Loss _ -> 0.0
 
 let horizon t = List.fold_left (fun acc f -> Float.max acc (fault_end f)) 0.0 t
+
+let first_start t =
+  List.fold_left (fun acc f -> Float.min acc (fault_start f)) infinity t
+
+let spans t = List.map (fun f -> (fault_start f, fault_end f)) t
+
+(* Hardening: a clause whose window opens at or after the run horizon
+   injects nothing — almost always a typo'd time. Surface it before
+   the run wastes a simulation discovering the same silently. *)
+let check_within ~run_until t =
+  let late =
+    List.find_opt (fun f -> Float.is_finite run_until && fault_start f >= run_until) t
+  in
+  match late with
+  | None -> Ok ()
+  | Some f ->
+      Error
+        (Printf.sprintf
+           "fault plan: clause %s starts at t=%g, at/after the run horizon \
+            %g — it would never inject (shorten the start time or extend \
+            the run)"
+           (fault_to_string f) (fault_start f) run_until)
 
 let is_empty t = t = []
 

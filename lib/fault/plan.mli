@@ -27,6 +27,14 @@
                           seconds, mean R brand-new flows/second
                           (kind defaults to syn; see
                           [Taq_workload.Flood])
+    brownout@T+D:frac=F   bottleneck link degraded to fraction F of
+                          its nominal rate at T for D seconds (F in
+                          (0,1); conservation-safe — packets queue
+                          behind the slower transmitter)
+    jitter@T+D:ms=J       every forward packet delayed by a seeded
+                          uniform draw in [0, J] milliseconds at T
+                          for D seconds (packets may overtake —
+                          that is the jitter)
     v}
     e.g. ["flap@1+2;corrupt@5-20:p=0.05;restart@10"]. *)
 
@@ -42,6 +50,10 @@ type fault =
   | Loss of { p : float }
   | Flood of { at : float; dur : float; rate : float; kind : string }
       (** [kind] is one of {!flood_kinds}; the parser guarantees it *)
+  | Brownout of { at : float; dur : float; frac : float }
+      (** link rate degraded to [frac] of nominal ([frac] in (0,1)) *)
+  | Jitter of { at : float; dur : float; ms : float }
+      (** seeded extra per-packet forward delay, uniform in [0, ms] *)
 
 type t = fault list
 
@@ -61,6 +73,23 @@ val horizon : t -> float
 (** Time after which the plan injects nothing more: the latest window
     end / flap recovery / restart instant. [infinity] when the plan
     contains a stationary [Loss] clause; [0.] for the empty plan. *)
+
+val first_start : t -> float
+(** Earliest instant any clause begins injecting ([0.] for a
+    stationary [Loss] clause, [infinity] for the empty plan). The
+    resilience monitor freezes its pre-fault baseline here. *)
+
+val spans : t -> (float * float) list
+(** Per-clause [(start, end)] fault windows, in plan order: a flap's
+    down window, a windowed clause's [A-B] (plus holdback for
+    reorder/jitter), a restart's zero-length instant, [(0, infinity)]
+    for stationary loss. The resilience monitor tracks peak deviation
+    inside the union of these. *)
+
+val check_within : run_until:float -> t -> (unit, string) result
+(** Hardening: [Error] (with an actionable message) if any clause's
+    window starts at or after [run_until] — such a clause would
+    silently inject nothing. [Ok] for infinite horizons. *)
 
 val is_empty : t -> bool
 

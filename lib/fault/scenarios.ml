@@ -56,6 +56,18 @@ let all =
        overhead; the guard must bound the tracker and degrade \
        gracefully"
       "flood@5+10:rate=400,kind=data";
+    mk "brownout-half-rate"
+      "the bottleneck runs at half its nominal rate for 8 s: every \
+       flow's share collapses together and the standing queue grows; \
+       recovery is plain congestion-control re-convergence once the \
+       rate comes back"
+      "brownout@5+8:frac=0.5";
+    mk "jitter-storm"
+      "every forward packet picks up a seeded extra delay of up to \
+       40 ms for 10 s: RTT estimators inflate, dupacks fire on \
+       overtaking packets, and SACK machinery works through the \
+       resulting spurious reordering"
+      "jitter@5+10:ms=40";
     mk "pool-churn-storm"
       "200 fresh flow pools per second for 8 s, each SYN claiming a \
        new pool id: stresses the admission waiting/Twait tables the \

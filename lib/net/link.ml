@@ -44,6 +44,11 @@ type t = {
          [capacity_bps - background_bps]. 0 when no hybrid backend is
          attached, in which case every transmission time is computed
          exactly as before ([c -. 0.] = [c] bit for bit). *)
+  mutable rate_factor : float;
+      (* Brownout fault hook: transmissions proceed at
+         [(capacity - background) * rate_factor]. 1.0 (no brownout
+         active) is the IEEE multiplicative identity, so un-faulted
+         links compute bit-identical transmission times. *)
   mutable up : bool;
       (* Fault-injection hook: while [false] the transmitter starts no
          new transmissions (a packet already on the wire completes).
@@ -141,7 +146,8 @@ let on_enqueue t f = t.enqueue_listeners <- f :: t.enqueue_listeners
 let on_deliver t f = t.deliver_listeners <- f :: t.deliver_listeners
 
 let tx_time t (p : Packet.t) =
-  float_of_int (p.size * 8) /. (t.capacity_bps -. t.background_bps)
+  float_of_int (p.size * 8)
+  /. ((t.capacity_bps -. t.background_bps) *. t.rate_factor)
 
 let set_background_bps t bps =
   if bps < 0.0 || bps >= t.capacity_bps then
@@ -151,6 +157,14 @@ let set_background_bps t bps =
   t.background_bps <- bps
 
 let background_bps t = t.background_bps
+
+let set_rate_factor t f =
+  if not (Float.is_finite f) || f <= 0.0 || f > 1.0 then
+    invalid_arg
+      (Printf.sprintf "Link.set_rate_factor: %g outside (0, 1]" f);
+  t.rate_factor <- f
+
+let rate_factor t = t.rate_factor
 
 (* Ring capacity is always a power of two (0 -> 16 -> 32 -> ...), so
    index wrap is a mask rather than a division. *)
@@ -259,6 +273,7 @@ let create ?check ?obs ?release ~sim ~capacity_bps ~prop_delay ~disc ~deliver
       release;
       busy = false;
       background_bps = 0.0;
+      rate_factor = 1.0;
       up = true;
       tx_pkt = dummy;
       tx_dt = [| 0.0 |];

@@ -55,6 +55,18 @@ val set_background_bps : t -> float -> unit
 
 val background_bps : t -> float
 
+val set_rate_factor : t -> float -> unit
+(** Fault-injection hook (see [Taq_fault]'s [brownout@T+D:frac=F]):
+    degrade the transmitter to this fraction of its nominal rate —
+    subsequent transmissions take [size / ((capacity - background) *
+    factor)] seconds. A packet already on the wire keeps its scheduled
+    completion. The default factor 1.0 is the exact multiplicative
+    identity, so links without an active brownout compute
+    bit-identical transmission times. Raises [Invalid_argument] unless
+    the factor is in [(0, 1]]. *)
+
+val rate_factor : t -> float
+
 val set_up : t -> bool -> unit
 (** Fault-injection hook (see [Taq_fault]): while the link is down the
     transmitter starts no new transmissions — a packet already on the

@@ -66,7 +66,7 @@ let test_group_masking () =
 
 let test_groups_of_string () =
   (match Check.groups_of_string "all" with
-  | Ok gs -> Alcotest.(check int) "all" 7 (List.length gs)
+  | Ok gs -> Alcotest.(check int) "all" 8 (List.length gs)
   | Error e -> Alcotest.fail e);
   (match Check.groups_of_string "fluid" with
   | Ok gs -> Alcotest.(check bool) "fluid" true (gs = [ Check.Fluid ])

@@ -51,8 +51,13 @@ let test_plan_roundtrip () =
       "flood@5+10:rate=400,kind=syn";
       "flood@5+8:rate=200,kind=pool";
       "flood@2+3:rate=150";
+      "brownout@8+6:frac=0.5";
+      "brownout@0.5+2:frac=0.9";
+      "jitter@8+6:ms=40";
+      "jitter@2+1:ms=0.5";
       "flap@1+2;corrupt@5-20:p=0.05;restart@10";
       "flap@1+2;flood@5+10:rate=400,kind=data";
+      "brownout@3+4:frac=0.25;jitter@10+5:ms=20;flap@18+1";
       " flap@1+2 ; restart@3 ";
     ]
 
@@ -81,6 +86,21 @@ let test_plan_rejects () =
       "flood@5+0:rate=100" (* non-positive duration *);
       "flood@5+10:rate=100,kind=weird" (* unknown flood kind *);
       "flood@5+10:rate=100,burst=3" (* unknown key *);
+      "flood@5+10:rate=nan" (* NaN rate *);
+      "loss:p=nan" (* NaN probability *);
+      "flap@nan+2" (* NaN time *);
+      "brownout@8+6" (* frac is mandatory *);
+      "brownout@8+6:frac=0" (* frac must be in (0,1) *);
+      "brownout@8+6:frac=1" (* frac=1 is not a brownout *);
+      "brownout@8+6:frac=1.5" (* frac out of range *);
+      "brownout@8+6:frac=-0.5" (* negative frac *);
+      "brownout@8+0:frac=0.5" (* non-positive duration *);
+      "brownout@8+6:frac=0.5,kind=syn" (* unknown key *);
+      "jitter@8+6" (* ms is mandatory *);
+      "jitter@8+6:ms=0" (* non-positive jitter *);
+      "jitter@8+6:ms=-3" (* negative jitter *);
+      "jitter@8+6:ms=nan" (* NaN jitter *);
+      "jitter@8+0:ms=40" (* non-positive duration *);
     ];
   (* Empty clauses (stray/trailing semicolons) are tolerated, not
      errors: convenient for shell-assembled plan strings. *)
@@ -99,7 +119,45 @@ let test_plan_horizon () =
   close "empty plan horizon" 0.0 (Plan.horizon (ok_plan ""));
   Alcotest.(check bool)
     "stationary loss never ends" true
-    (Plan.horizon (ok_plan "loss:p=0.01") = infinity)
+    (Plan.horizon (ok_plan "loss:p=0.01") = infinity);
+  close "brownout horizon" 14.0 (Plan.horizon (ok_plan "brownout@8+6:frac=0.5"));
+  close "jitter horizon includes holdback" 14.04
+    (Plan.horizon (ok_plan "jitter@8+6:ms=40"))
+
+let test_plan_first_start () =
+  let close msg a b = Alcotest.(check (float 1e-9)) msg a b in
+  close "earliest clause wins" 1.0
+    (Plan.first_start (ok_plan "restart@10;flap@1+2;brownout@8+6:frac=0.5"));
+  close "stationary loss starts at zero" 0.0
+    (Plan.first_start (ok_plan "flap@5+1;loss:p=0.01"));
+  Alcotest.(check bool)
+    "empty plan never starts" true
+    (Plan.first_start (ok_plan "") = infinity)
+
+let test_plan_check_within () =
+  let ok plan run_until =
+    match Plan.check_within ~run_until (ok_plan plan) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "plan %S rejected for d=%g: %s" plan run_until msg
+  in
+  let rejected plan run_until =
+    match Plan.check_within ~run_until (ok_plan plan) with
+    | Ok () ->
+        Alcotest.failf "plan %S should not fit inside d=%g" plan run_until
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error message is actionable" plan)
+          true
+          (String.length msg > 0)
+  in
+  ok "flap@1+2" 10.0;
+  ok "brownout@8+6:frac=0.5;jitter@8+6:ms=40" 9.0;
+  ok "loss:p=0.01" 10.0 (* stationary clauses always inject *);
+  ok "" 10.0;
+  rejected "flap@10+2" 10.0 (* starts exactly at the horizon *);
+  rejected "flap@50+2" 30.0;
+  rejected "flap@1+2;restart@40" 30.0 (* one dead clause poisons the plan *);
+  rejected "jitter@30+5:ms=10" 12.0
 
 let test_plan_middlebox_only () =
   Alcotest.(check bool)
@@ -429,9 +487,30 @@ let gen_fault =
            (Plan.Ack_delay { w = { Plan.from_ = a; until = a +. len }; delay }));
         (let* at = float_range 0.5 15.0 in
          return (Plan.Restart { at }));
+        (let* at = float_range 0.5 10.0 in
+         let* dur = float_range 0.5 4.0 in
+         let* frac = float_range 0.1 0.9 in
+         return (Plan.Brownout { at; dur; frac }));
+        (let* at = float_range 0.5 10.0 in
+         let* dur = float_range 0.5 4.0 in
+         let* ms = float_range 1.0 60.0 in
+         return (Plan.Jitter { at; dur; ms }));
       ])
 
 let gen_plan = QCheck.Gen.(list_size (int_range 1 4) gen_fault)
+
+(* The canonical rendering is the sweep cache-key vocabulary, so it
+   must be a fixed point: parsing a rendered plan and re-rendering it
+   reproduces the exact string (else equal plans could hash apart). *)
+let prop_plan_canonical_roundtrip =
+  QCheck.Test.make ~name:"plan: canonical text is a parse fixed point"
+    ~count:200
+    (QCheck.make ~print:Plan.to_string gen_plan)
+    (fun plan ->
+      let s = Plan.to_string plan in
+      match Plan.of_string s with
+      | Ok p' -> Plan.to_string p' = s
+      | Error _ -> false)
 
 let prop_finite_plan_recovers =
   QCheck.Test.make ~name:"fault: finite plan => conservation + completion"
@@ -507,6 +586,8 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_plan_roundtrip;
           Alcotest.test_case "rejects invalid" `Quick test_plan_rejects;
           Alcotest.test_case "horizon" `Quick test_plan_horizon;
+          Alcotest.test_case "first_start" `Quick test_plan_first_start;
+          Alcotest.test_case "check_within" `Quick test_plan_check_within;
           Alcotest.test_case "middlebox_only" `Quick test_plan_middlebox_only;
           Alcotest.test_case "has_flood" `Quick test_plan_has_flood;
         ] );
@@ -541,6 +622,12 @@ let () =
             (test_drill_registry_scenario "flap-slow-start" Common.taq_marker);
           Alcotest.test_case "corruption-storm/taq" `Quick
             (test_drill_registry_scenario "corruption-storm" Common.taq_marker);
+          Alcotest.test_case "brownout-half-rate/droptail" `Quick
+            (test_drill_registry_scenario "brownout-half-rate" Common.Droptail);
+          Alcotest.test_case "brownout-half-rate/taq" `Quick
+            (test_drill_registry_scenario "brownout-half-rate" Common.taq_marker);
+          Alcotest.test_case "jitter-storm/taq" `Quick
+            (test_drill_registry_scenario "jitter-storm" Common.taq_marker);
           Alcotest.test_case "restart proves re-learning" `Quick
             test_drill_restart_proves_relearning;
           Alcotest.test_case "flood arc" `Quick test_drill_flood_arc;
@@ -549,6 +636,9 @@ let () =
         ] );
       ( "properties",
         [
+          QCheck_alcotest.to_alcotest
+            ~rand:(Qcheck_seed.rand ~file:"test_fault")
+            prop_plan_canonical_roundtrip;
           QCheck_alcotest.to_alcotest
             ~rand:(Qcheck_seed.rand ~file:"test_fault")
             prop_finite_plan_recovers;
